@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one paper figure's data (printed with ``-s``
+and always written to ``benchmarks/results/``) and asserts the paper's
+*shape* claims.  Set ``REPRO_BENCH_SCALE=unit`` for a fast smoke run.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchScale, bench_dataset
+
+
+def _scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if name == "unit":
+        return BenchScale.unit()
+    if name == "default":
+        return BenchScale.default()
+    raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}")
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    value = _scale()
+    # Materialize the shared dataset once up front so the first benchmark
+    # doesn't pay generation time.
+    bench_dataset(value)
+    return value
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

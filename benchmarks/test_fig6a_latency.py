@@ -1,0 +1,35 @@
+"""Fig. 6a — query latency by size: basic vs cold STASH vs hot STASH.
+
+Paper claims: a fully populated STASH outperforms the basic system by
+~5x on country/state queries and turns them interactive; an empty STASH
+is slightly *slower* than basic (unsuccessful lookup overhead).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig6a_latency_by_query_size
+from repro.bench.reporting import report
+
+
+def test_fig6a_latency_by_query_size(benchmark, scale):
+    result = run_once(benchmark, fig6a_latency_by_query_size, scale)
+    report(result)
+    basic = result.series["basic"]
+    cold = result.series["stash_cold"]
+    hot = result.series["stash_hot"]
+
+    # Latency grows with query size in every scenario.
+    for series in (basic, cold, hot):
+        assert series["country"] > series["city"]
+
+    # Hot STASH beats basic by >= 5x on large queries (paper: ~5x).
+    assert basic["country"] / hot["country"] >= 5.0
+    assert basic["state"] / hot["state"] >= 5.0
+
+    # Hot STASH reaches interactive latency (< 100 ms simulated).
+    assert hot["country"] < 0.1
+
+    # Cold STASH pays a small overhead over basic, but stays within 50%.
+    for size in ("country", "state", "county", "city"):
+        assert cold[size] >= basic[size]
+        assert cold[size] <= basic[size] * 1.5

@@ -1,0 +1,21 @@
+"""Fig. 6b — throughput of STASH vs the basic system on pan clouds.
+
+Paper claims: 5.7x / 4x / 3.7x throughput improvement for state /
+county / city query groups on a locality-heavy panning workload.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig6b_throughput
+from repro.bench.reporting import report
+
+
+def test_fig6b_throughput(benchmark, scale):
+    result = run_once(benchmark, fig6b_throughput, scale)
+    report(result)
+    basic = result.series["basic"]
+    stash = result.series["stash"]
+
+    # STASH improves throughput for every query-size group, materially.
+    for size in ("state", "county", "city"):
+        assert stash[size] > basic[size] * 1.5, size

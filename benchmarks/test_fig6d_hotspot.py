@@ -1,0 +1,30 @@
+"""Fig. 6d — hotspot autoscaling: dynamic clique replication vs none.
+
+Paper claims: under a single-region county-level hotspot, STASH with
+dynamic replication sustains more responses per second and finishes the
+whole workload earlier (~40% throughput improvement; ~20 s earlier on
+their 2-minute run).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig6d_hotspot
+from repro.bench.reporting import report
+
+
+def test_fig6d_hotspot(benchmark, scale):
+    result = run_once(benchmark, fig6d_hotspot, scale)
+    report(result)
+    qps = result.series["throughput_qps"]
+    duration = result.series["total_duration_s"]
+
+    # Replication completed at least one handoff and rerouted traffic.
+    assert result.meta["handoffs"] >= 1
+    assert result.meta["rerouted"] > 0
+
+    # Replication improves throughput by >= 25% (paper: ~40%).
+    assert qps["replication"] >= qps["no_replication"] * 1.25
+
+    # ... and finishes the workload earlier.
+    assert duration["replication"] < duration["no_replication"]
+    assert result.meta["finish_advantage_s"] > 0

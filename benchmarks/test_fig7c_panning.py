@@ -1,0 +1,28 @@
+"""Fig. 7c — panning a state-level query by 10/20/25% in 8 directions.
+
+Paper claims: the basic system stays uniformly slow; STASH is
+considerably faster, with 60-73% latency reduction at the 25% pan and
+better reuse (lower latency) for smaller pans.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig7c_panning
+from repro.bench.reporting import report
+
+
+def test_fig7c_panning(benchmark, scale):
+    result = run_once(benchmark, fig7c_panning, scale)
+    report(result)
+    basic = result.series["basic"]
+    stash = result.series["stash"]
+
+    for label in ("pan10%", "pan20%", "pan25%"):
+        # Substantial reduction at every pan size (paper: 60-73% at 25%).
+        assert stash[label] < basic[label] * 0.6, label
+
+    # Smaller pans overlap more, so STASH latency grows with pan size.
+    assert stash["pan10%"] <= stash["pan20%"] <= stash["pan25%"]
+
+    # Headline claim: >= 50% latency reduction at the 25% pan.
+    assert result.meta["reduction_pan25%"] >= 0.5

@@ -1,0 +1,43 @@
+"""Fig. 7d/7e — drill-down and roll-up with 50/75/100% preloaded cells.
+
+Paper claims: the more relevant cells in memory, the lower the latency;
+"in all scenarios with partial information, we see at least 40%
+improvement in latency over a system without STASH".
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig7de_zoom
+from repro.bench.reporting import report
+
+
+def _series_avg(series):
+    return sum(series.values()) / len(series)
+
+
+def _check_zoom(result):
+    basic = _series_avg(result.series["basic"])
+    stash50 = _series_avg(result.series["stash50%"])
+    stash75 = _series_avg(result.series["stash75%"])
+    stash100 = _series_avg(result.series["stash100%"])
+
+    # Monotone: more cells in memory, lower latency.
+    assert stash100 < stash75 <= stash50 < basic
+
+    # Paper's headline: >= 40% improvement with any partial cache.
+    assert stash50 <= basic * 0.6
+
+    # Full preload is interactive.
+    assert stash100 < 0.05
+
+
+def test_fig7d_drill_down(benchmark, scale):
+    result = run_once(benchmark, fig7de_zoom, scale, "drill")
+    report(result)
+    _check_zoom(result)
+
+
+def test_fig7e_roll_up(benchmark, scale):
+    result = run_once(benchmark, fig7de_zoom, scale, "roll")
+    report(result)
+    _check_zoom(result)

@@ -1,0 +1,32 @@
+"""Fig. 8a — panning: STASH vs ElasticSearch.
+
+Paper claims: relative to the first request, STASH's per-step latency
+reduction ranges between ~70% and 49.7%, while ElasticSearch's stays
+between ~2% and 0.6% — ES's request cache cannot reuse overlapping
+(non-identical) queries.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig8a_es_panning
+from repro.bench.reporting import report
+
+
+def test_fig8a_es_panning(benchmark, scale):
+    result = run_once(benchmark, fig8a_es_panning, scale)
+    report(result)
+
+    # STASH: large average reduction vs its first request (paper 49-70%).
+    assert result.meta["stash_reduction_vs_q1"] >= 0.40
+
+    # ES: marginal reduction only (paper 0.6-2%; allow up to 10%).
+    assert result.meta["es_reduction_vs_q1"] < 0.10
+
+    # From the second query on, STASH's latency is significantly lower
+    # than ES's ("better management of in-memory data").
+    stash = result.series["stash"]
+    elastic = result.series["elastic"]
+    later = [label for label in stash if label != "q1"]
+    stash_avg = sum(stash[l] for l in later) / len(later)
+    es_avg = sum(elastic[l] for l in later) / len(later)
+    assert stash_avg < es_avg * 0.7

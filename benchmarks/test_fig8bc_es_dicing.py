@@ -1,0 +1,34 @@
+"""Fig. 8b/8c — iterative dicing: STASH vs ElasticSearch.
+
+Paper claims: STASH "achieves a much steeper drop in latency from the
+second query onwards by efficiently utilizing the common Cells stored
+in-memory", in both ascending and descending variants.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig8bc_es_dicing
+from repro.bench.reporting import report
+
+
+def test_fig8b_ascending_dicing_vs_es(benchmark, scale):
+    result = run_once(benchmark, fig8bc_es_dicing, scale, True)
+    report(result)
+    stash = result.series["stash"]
+    elastic = result.series["elastic"]
+    # STASH's relative step-to-step improvement beats ES's.
+    assert result.meta["stash_q2_over_q1"] < result.meta["es_q2_over_q1"]
+    later = ("q2", "q3", "q4", "q5")
+    assert sum(stash[s] for s in later) < sum(elastic[s] for s in later)
+
+
+def test_fig8c_descending_dicing_vs_es(benchmark, scale):
+    result = run_once(benchmark, fig8bc_es_dicing, scale, False)
+    report(result)
+    stash = result.series["stash"]
+    elastic = result.series["elastic"]
+    # Much steeper drop from q2 onward for STASH.
+    assert result.meta["stash_q2_over_q1"] < 0.3
+    assert result.meta["es_q2_over_q1"] > 0.5
+    for step in ("q2", "q3", "q4", "q5"):
+        assert stash[step] < elastic[step] * 0.3, step

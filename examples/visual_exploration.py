@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Visual exploration session: pan / zoom / dice over a weather map.
+
+Reproduces the front-end workflow the paper motivates (section II): a
+user explores a winter storm, panning and drilling down, while STASH
+turns the repeated overlapping queries into cache hits.  Each step
+prints the simulated latency and an ASCII heatmap of the viewport.
+
+Run with::
+
+    python examples/visual_exploration.py
+"""
+
+from repro import (
+    BoundingBox,
+    DatasetSpec,
+    Resolution,
+    StashCluster,
+    SyntheticNAMGenerator,
+    TemporalResolution,
+    TimeKey,
+)
+from repro.client.render import render_ascii_heatmap
+from repro.client.session import ExplorationSession
+
+
+def show(step: str, session: ExplorationSession, result) -> None:
+    print(f"\n=== {step}")
+    print(f"viewport: {session.viewport.height:.1f} x {session.viewport.width:.1f} deg "
+          f"at {session.resolution}, {session.day}")
+    print(f"latency: {result.latency * 1e3:7.2f} ms   "
+          f"cells: {len(result.cells):5d}   provenance: {result.provenance}")
+    if result.cells:
+        print(render_ascii_heatmap(result, "temperature", "mean", max_width=60))
+
+
+def main() -> None:
+    spec = DatasetSpec(num_records=80_000, start_day=(2013, 2, 1), num_days=5)
+    dataset = SyntheticNAMGenerator(spec).generate()
+    cluster = StashCluster(dataset)
+
+    session = ExplorationSession(
+        cluster,
+        viewport=BoundingBox(south=25.0, north=50.0, west=-125.0, east=-70.0),
+        day=TimeKey.of(2013, 2, 2),
+        resolution=Resolution(3, TemporalResolution.DAY),
+        prefetch=True,  # paper future-work: momentum prefetching
+    )
+
+    show("initial continental view", session, session.refresh())
+    cluster.drain()
+
+    show("drill down (zoom in one level)", session, session.drill_down())
+    cluster.drain()
+
+    show("dice to the northern half", session, session.dice(0.5))
+    cluster.drain()
+
+    for direction in ("e", "e", "e"):
+        result = session.pan(direction, fraction=0.25)
+        cluster.drain()
+        show(f"pan {direction} by 25%", session, result)
+
+    show("next day (temporal slice)", session, session.slice_day(TimeKey.of(2013, 2, 3)))
+    cluster.drain()
+
+    show("roll up (zoom back out)", session, session.roll_up())
+
+    stats = session.stats
+    print(f"\nsession: {stats.queries_sent} server queries, "
+          f"{stats.prefetches_issued} prefetches issued")
+    counters = cluster.counters_total()
+    print(f"cluster: {counters.get('cells_served_from_cache', 0):,} cells from cache, "
+          f"{counters.get('cells_served_from_rollup', 0):,} from roll-up, "
+          f"{counters.get('cells_populated', 0):,} populated")
+
+
+if __name__ == "__main__":
+    main()

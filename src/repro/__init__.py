@@ -1,0 +1,95 @@
+"""STASH: fast hierarchical aggregation queries for visual spatiotemporal
+exploration — a full reproduction of the CLUSTER 2019 paper.
+
+Quick tour
+----------
+
+>>> from repro import (
+...     DatasetSpec, SyntheticNAMGenerator, StashCluster, StashConfig,
+...     AggregationQuery,
+... )
+>>> dataset = SyntheticNAMGenerator(DatasetSpec(num_records=20_000)).generate()
+>>> cluster = StashCluster(dataset)
+>>> # build a query, run it, inspect per-cell summary statistics
+>>> # (see examples/quickstart.py for the full walk-through)
+
+Package layout (see DESIGN.md for the paper-section mapping):
+
+- :mod:`repro.geo` — geohash / temporal hierarchy primitives
+- :mod:`repro.data` — observations, mergeable statistics, synthetic NAM data
+- :mod:`repro.sim` — deterministic discrete-event cluster simulation
+- :mod:`repro.dht` — zero-hop DHT partitioning
+- :mod:`repro.storage` — Galileo-like distributed block storage
+- :mod:`repro.core` — the STASH cache itself (cells, graph, PLM, planner)
+- :mod:`repro.replication` — hotspot detection and clique handoff
+- :mod:`repro.baselines` — the basic system and simulated ElasticSearch
+- :mod:`repro.workload` — the paper's query workload generators
+- :mod:`repro.client` — exploration sessions and rendering
+- :mod:`repro.bench` — one experiment per paper figure
+"""
+
+from repro.config import (
+    ClusterConfig,
+    CostModel,
+    DEFAULT_CONFIG,
+    ElasticConfig,
+    EvictionConfig,
+    FreshnessConfig,
+    ReplicationConfig,
+    StashConfig,
+)
+from repro.data.generator import DatasetSpec, NAM_DOMAIN, SyntheticNAMGenerator
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution, ResolutionSpace
+from repro.geo.temporal import TemporalResolution, TimeKey, TimeRange
+from repro.query.model import AggregationQuery, QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationQuery",
+    "BoundingBox",
+    "ClusterConfig",
+    "CostModel",
+    "DEFAULT_CONFIG",
+    "DatasetSpec",
+    "ElasticConfig",
+    "EvictionConfig",
+    "FreshnessConfig",
+    "NAM_DOMAIN",
+    "QueryResult",
+    "ReplicationConfig",
+    "Resolution",
+    "ResolutionSpace",
+    "StashConfig",
+    "SyntheticNAMGenerator",
+    "TemporalResolution",
+    "TimeKey",
+    "TimeRange",
+    "__version__",
+    # Systems are imported lazily to keep `import repro` light:
+    "StashCluster",
+    "BasicSystem",
+    "ElasticSystem",
+    "ExplorationSession",
+]
+
+
+def __getattr__(name: str):
+    if name == "StashCluster":
+        from repro.core.cluster import StashCluster
+
+        return StashCluster
+    if name == "BasicSystem":
+        from repro.baselines.basic import BasicSystem
+
+        return BasicSystem
+    if name == "ElasticSystem":
+        from repro.baselines.elastic import ElasticSystem
+
+        return ElasticSystem
+    if name == "ExplorationSession":
+        from repro.client.session import ExplorationSession
+
+        return ExplorationSession
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,7 @@
+"""Comparator systems: the basic (scan-only) backend and simulated
+ElasticSearch (paper section VIII)."""
+
+from repro.baselines.basic import BasicSystem
+from repro.baselines.elastic import ElasticSystem
+
+__all__ = ["BasicSystem", "ElasticSystem"]

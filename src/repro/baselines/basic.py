@@ -1,0 +1,92 @@
+"""The "basic system": distributed scan with no STASH layer.
+
+This is the paper's primary baseline (the "simple Galileo storage
+system"): every query is answered by scattering scans to the nodes
+holding the relevant blocks and merging the partial aggregations at the
+coordinator.  No state is reused between queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.keys import CellKey
+from repro.data.statistics import SummaryVector
+from repro.query.model import AggregationQuery
+from repro.sim.engine import Event
+from repro.sim.network import Message
+from repro.storage.node import StorageNode
+from repro.system import DistributedSystem
+
+
+class BasicNode(StorageNode):
+    """Storage node that can also coordinate whole-query evaluation."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.register_handler("evaluate", self._handle_evaluate)
+
+    def _handle_evaluate(self, message: Message) -> Generator[Event, Any, None]:
+        yield self.sim.timeout(self.cost.request_overhead)
+        query: AggregationQuery = message.payload["query"]
+        block_ids = self.catalog.blocks_for_query(query)
+        plan = self.catalog.blocks_by_node(block_ids)
+        events = []
+        for node_id, ids in sorted(plan.items()):
+            if node_id == self.node_id:
+                events.append(self.sim.process(self.scan_locally(query, ids)))
+            else:
+                events.append(
+                    self.network.request(
+                        self.node_id,
+                        node_id,
+                        "scan",
+                        {"query": query, "block_ids": ids},
+                        size=1_024,
+                    )
+                )
+        partials: list[dict[CellKey, SummaryVector]] = (
+            yield self.sim.all_of(events)
+        ) if events else []
+        merged: dict[CellKey, SummaryVector] = {}
+        merges = 0
+        for cells in partials:
+            for key, vec in cells.items():
+                existing = merged.get(key)
+                if existing is None:
+                    merged[key] = vec
+                else:
+                    merged[key] = existing.merge(vec)
+                    merges += 1
+        if merges:
+            yield self.sim.timeout(merges * self.cost.cell_merge_cost)
+        if query.polygon is not None:
+            # Scans cover the polygon's bounding box; keep only the cells
+            # of the polygonal footprint.
+            wanted = set(query.footprint())
+            merged = {k: v for k, v in merged.items() if k in wanted}
+        self.network.respond(
+            message,
+            {
+                "cells": merged,
+                "provenance": {
+                    "cells_from_disk": len(merged),
+                    "disk_blocks_read": len(block_ids),
+                },
+            },
+            size=len(merged) * self.cost.cell_wire_size,
+        )
+
+
+class BasicSystem(DistributedSystem):
+    """Cluster of :class:`BasicNode` — the no-cache baseline."""
+
+    def _start_nodes(self) -> None:
+        self.nodes = {
+            node_id: BasicNode(
+                self.sim, self.network, self.catalog, node_id, self.config
+            )
+            for node_id in self.node_ids
+        }
+        for node in self.nodes.values():
+            node.start()

@@ -1,0 +1,12 @@
+"""Benchmark harness: one experiment per paper figure (section VIII)."""
+
+from repro.bench.harness import BenchScale, ExperimentResult, bench_dataset, make_system
+from repro.bench import experiments
+
+__all__ = [
+    "BenchScale",
+    "ExperimentResult",
+    "bench_dataset",
+    "make_system",
+    "experiments",
+]

@@ -1,0 +1,89 @@
+"""Result persistence and pretty-printing for the benchmark suite.
+
+Every benchmark writes its regenerated figure data to
+``benchmarks/results/<name>.txt`` (human table) and ``<name>.json``
+(machine form) so EXPERIMENTS.md can be refreshed from a bench run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.harness import ExperimentResult
+
+#: Default output directory, relative to the repository root.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def save_result(result: ExperimentResult, directory: pathlib.Path | None = None) -> pathlib.Path:
+    """Persist a result; returns the table path."""
+    directory = RESULTS_DIR if directory is None else directory
+    directory.mkdir(parents=True, exist_ok=True)
+    table_path = directory / f"{result.name}.txt"
+    table_path.write_text(result.format_table() + "\n", encoding="utf-8")
+    json_path = directory / f"{result.name}.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "name": result.name,
+                "description": result.description,
+                "series": result.series,
+                "meta": {k: v for k, v in result.meta.items()},
+            },
+            indent=2,
+            sort_keys=True,
+            default=str,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return table_path
+
+
+#: Glyphs for the grouped bar chart, one per series.
+_BAR_GLYPHS = "#=+*o%"
+
+
+def ascii_chart(result: ExperimentResult, width: int = 48) -> str:
+    """Grouped horizontal bars of a result — the figure, in a terminal.
+
+    Bars are scaled to the maximum value across all series; each series
+    gets its own glyph, listed in the legend line.
+    """
+    series_names = list(result.series)
+    labels = result.row_labels()
+    peak = max(
+        (v for rows in result.series.values() for v in rows.values()),
+        default=0.0,
+    )
+    if peak <= 0:
+        return "(no positive values to chart)"
+    label_width = max((len(l) for l in labels), default=4)
+    lines = [
+        "legend: "
+        + "  ".join(
+            f"{_BAR_GLYPHS[i % len(_BAR_GLYPHS)]} {name}"
+            for i, name in enumerate(series_names)
+        )
+    ]
+    for label in labels:
+        for i, name in enumerate(series_names):
+            value = result.series[name].get(label)
+            if value is None:
+                continue
+            bar = _BAR_GLYPHS[i % len(_BAR_GLYPHS)] * max(
+                1, int(round(width * value / peak))
+            )
+            row_label = label if i == 0 else ""
+            lines.append(f"{row_label:>{label_width}} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def report(result: ExperimentResult) -> None:
+    """Print and persist a result (stdout shows with pytest -s)."""
+    print()
+    print(result.format_table())
+    print()
+    print(ascii_chart(result))
+    save_result(result)

@@ -1,0 +1,281 @@
+"""Command-line interface: run queries and regenerate paper experiments.
+
+Examples::
+
+    python -m repro dataset --records 50000 --days 3
+    python -m repro query --engine stash --box 37,41,-109,-102 \
+        --day 2013-02-03 --spatial 4 --heatmap temperature
+    python -m repro experiment fig6a
+    python -m repro experiment all --scale unit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench.harness import BenchScale, ExperimentResult
+
+#: Experiment registry: name -> zero-arg-beyond-scale callable.
+def _experiment_registry() -> dict[str, Callable[[BenchScale], ExperimentResult]]:
+    from repro.bench import ablations, experiments
+
+    return {
+        "fig6a": experiments.fig6a_latency_by_query_size,
+        "fig6b": experiments.fig6b_throughput,
+        "fig6c": experiments.fig6c_maintenance,
+        "fig6d": experiments.fig6d_hotspot,
+        "fig7a": lambda s: experiments.fig7ab_iterative_dicing(s, ascending=False),
+        "fig7b": lambda s: experiments.fig7ab_iterative_dicing(s, ascending=True),
+        "fig7c": experiments.fig7c_panning,
+        "fig7d": lambda s: experiments.fig7de_zoom(s, "drill"),
+        "fig7e": lambda s: experiments.fig7de_zoom(s, "roll"),
+        "fig8a": experiments.fig8a_es_panning,
+        "fig8b": lambda s: experiments.fig8bc_es_dicing(s, ascending=True),
+        "fig8c": lambda s: experiments.fig8bc_es_dicing(s, ascending=False),
+        "ablation-rollup": ablations.ablation_rollup,
+        "ablation-dispersion": ablations.ablation_dispersion,
+        "ablation-reroute": ablations.ablation_reroute_probability,
+        "ablation-prefetch": ablations.ablation_prefetch,
+        "ablation-client-graph": ablations.ablation_client_graph,
+        "ablation-scaling": ablations.ablation_cluster_scaling,
+        "ablation-capacity": ablations.ablation_cache_capacity,
+        "sessions": ablations.experiment_realistic_sessions,
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STASH (CLUSTER 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ds = sub.add_parser("dataset", help="generate a synthetic NAM-like dataset")
+    ds.add_argument("--records", type=int, default=50_000)
+    ds.add_argument("--days", type=int, default=3)
+    ds.add_argument("--seed", type=int, default=42)
+
+    qp = sub.add_parser("query", help="run one aggregation query")
+    qp.add_argument("--engine", choices=("stash", "basic", "elastic"), default="stash")
+    qp.add_argument(
+        "--box",
+        default="37,41,-109,-102",
+        help="south,north,west,east in degrees",
+    )
+    qp.add_argument("--day", default="2013-02-02", help="YYYY-MM-DD")
+    qp.add_argument("--spatial", type=int, default=4, help="geohash precision")
+    qp.add_argument(
+        "--temporal",
+        choices=("year", "month", "day", "hour"),
+        default="day",
+    )
+    qp.add_argument("--records", type=int, default=50_000)
+    qp.add_argument("--days", type=int, default=3)
+    qp.add_argument("--seed", type=int, default=42)
+    qp.add_argument("--nodes", type=int, default=16)
+    qp.add_argument("--repeat", type=int, default=2, help="run N times (shows caching)")
+    qp.add_argument("--heatmap", metavar="ATTR", help="render an ASCII heatmap")
+    qp.add_argument("--json", action="store_true", help="print the JSON response")
+
+    ex = sub.add_parser("experiment", help="regenerate a paper figure")
+    ex.add_argument(
+        "name",
+        choices=sorted(_experiment_registry()) + ["all"],
+        help="figure/ablation id",
+    )
+    ex.add_argument("--scale", choices=("unit", "default"), default="default")
+    ex.add_argument("--save", action="store_true", help="persist to benchmarks/results/")
+
+    tr = sub.add_parser("trace", help="record or replay a query trace")
+    tr_sub = tr.add_subparsers(dest="trace_command", required=True)
+    rec = tr_sub.add_parser("record", help="generate a workload and save it")
+    rec.add_argument("path", help="output JSONL file")
+    rec.add_argument(
+        "--workload", choices=("pan-cloud", "hotspot", "zipf"), default="pan-cloud"
+    )
+    rec.add_argument(
+        "--size", choices=("country", "state", "county", "city"), default="county"
+    )
+    rec.add_argument("--requests", type=int, default=100)
+    rec.add_argument("--seed", type=int, default=42)
+    rep = tr_sub.add_parser("replay", help="replay a trace against an engine")
+    rep.add_argument("path", help="input JSONL file")
+    rep.add_argument("--engine", choices=("stash", "basic", "elastic"), default="stash")
+    rep.add_argument("--records", type=int, default=50_000)
+    rep.add_argument("--days", type=int, default=3)
+    rep.add_argument("--nodes", type=int, default=16)
+    rep.add_argument("--concurrent", action="store_true")
+    return parser
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
+
+    spec = DatasetSpec(
+        num_records=args.records,
+        start_day=(2013, 2, 1),
+        num_days=args.days,
+        seed=args.seed,
+    )
+    batch = SyntheticNAMGenerator(spec).generate()
+    print(f"records:    {len(batch):,}")
+    print(f"bytes:      {batch.nbytes:,}")
+    print(f"lat range:  [{batch.lats.min():.2f}, {batch.lats.max():.2f}]")
+    print(f"lon range:  [{batch.lons.min():.2f}, {batch.lons.max():.2f}]")
+    for name in batch.attribute_names:
+        values = batch.attributes[name]
+        print(
+            f"{name:>14}: mean={values.mean():8.2f}  "
+            f"min={values.min():8.2f}  max={values.max():8.2f}"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.config import ClusterConfig, StashConfig
+    from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
+    from repro.geo.bbox import BoundingBox
+    from repro.geo.resolution import Resolution
+    from repro.geo.temporal import TemporalResolution, TimeKey
+    from repro.query.model import AggregationQuery
+
+    try:
+        south, north, west, east = (float(v) for v in args.box.split(","))
+    except ValueError:
+        print(f"error: --box must be south,north,west,east, got {args.box!r}",
+              file=sys.stderr)
+        return 2
+    spec = DatasetSpec(
+        num_records=args.records,
+        start_day=(2013, 2, 1),
+        num_days=args.days,
+        seed=args.seed,
+    )
+    dataset = SyntheticNAMGenerator(spec).generate()
+    config = StashConfig(cluster=ClusterConfig(num_nodes=args.nodes))
+
+    from repro.bench.harness import make_system
+
+    system = make_system(args.engine, dataset, config)
+    query = AggregationQuery(
+        bbox=BoundingBox(south, north, west, east),
+        time_range=TimeKey.parse(args.day).epoch_range(),
+        resolution=Resolution(
+            args.spatial, TemporalResolution[args.temporal.upper()]
+        ),
+    )
+    result = None
+    for attempt in range(1, max(1, args.repeat) + 1):
+        clone = AggregationQuery(
+            bbox=query.bbox, time_range=query.time_range, resolution=query.resolution
+        )
+        result = system.run_query(clone)
+        if hasattr(system, "drain"):
+            system.drain()
+        print(
+            f"run {attempt}: {result.latency * 1e3:9.3f} ms  "
+            f"cells={len(result.cells):5d}  observations={result.total_count:,}"
+        )
+        print(f"        provenance: {result.provenance}")
+    assert result is not None
+    if args.heatmap:
+        from repro.client.render import render_ascii_heatmap
+
+        print()
+        print(render_ascii_heatmap(result, args.heatmap))
+    if args.json:
+        from repro.client.render import render_json
+
+        print(render_json(result, indent=2))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    scale = BenchScale.unit() if args.scale == "unit" else BenchScale.default()
+    names = sorted(registry) if args.name == "all" else [args.name]
+    for name in names:
+        result = registry[name](scale)
+        print()
+        print(result.format_table())
+        from repro.bench.reporting import ascii_chart
+
+        print()
+        print(ascii_chart(result))
+        if args.save:
+            from repro.bench.reporting import save_result
+
+            path = save_result(result)
+            print(f"saved to {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data.generator import NAM_DOMAIN
+    from repro.workload.trace import load_trace, replay_trace, save_trace
+
+    if args.trace_command == "record":
+        from repro.workload.hotspot import hotspot_workload, zipf_region_workload
+        from repro.workload.navigation import pan_cloud
+        from repro.workload.queries import QuerySize
+
+        rng = np.random.default_rng(args.seed)
+        size = QuerySize(args.size)
+        if args.workload == "pan-cloud":
+            pans = 10
+            queries = pan_cloud(
+                rng, size, NAM_DOMAIN,
+                num_centers=max(1, args.requests // pans),
+                pans_per_center=pans,
+            )[: args.requests]
+        elif args.workload == "hotspot":
+            queries = hotspot_workload(rng, NAM_DOMAIN, args.requests, size=size)
+        else:
+            queries = zipf_region_workload(rng, NAM_DOMAIN, args.requests, size=size)
+        count = save_trace(queries, args.path)
+        print(f"wrote {count} queries to {args.path}")
+        return 0
+
+    # replay
+    from repro.bench.harness import make_system
+    from repro.config import ClusterConfig, StashConfig
+    from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
+
+    queries = load_trace(args.path)
+    spec = DatasetSpec(
+        num_records=args.records, start_day=(2013, 2, 1), num_days=args.days
+    )
+    dataset = SyntheticNAMGenerator(spec).generate()
+    system = make_system(
+        args.engine, dataset, StashConfig(cluster=ClusterConfig(num_nodes=args.nodes))
+    )
+    results = replay_trace(system, queries, concurrent=args.concurrent)
+    latencies = sorted(r.latency for r in results)
+    total = system.timeline.total_duration()
+    print(f"replayed {len(results)} queries on {args.engine}")
+    print(f"  mean latency: {sum(latencies) / len(latencies) * 1e3:9.3f} ms")
+    print(f"  p95 latency:  {latencies[int(0.95 * (len(latencies) - 1))] * 1e3:9.3f} ms")
+    print(f"  makespan:     {total * 1e3:9.3f} ms "
+          f"({len(results) / total:,.0f} queries/s)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "dataset":
+        return _cmd_dataset(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Front-end: visual-exploration sessions and response rendering.
+
+The paper's front-end (Grafana) is interchangeable — "we can interoperate
+with any visualization framework that is capable of parsing and
+displaying summarization responses in JSON".  This package provides the
+session logic (UI gestures -> queries) and JSON / ASCII-heatmap
+renderers, plus two features from the paper's future-work section:
+a client-side mini STASH cache and momentum-based prefetching.
+"""
+
+from repro.client.session import ExplorationSession
+from repro.client.render import render_ascii_heatmap, render_json
+
+__all__ = ["ExplorationSession", "render_ascii_heatmap", "render_json"]

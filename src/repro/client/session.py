@@ -1,0 +1,261 @@
+"""Visual exploration sessions: UI gestures -> backend queries.
+
+An :class:`ExplorationSession` holds the user's current viewport (area,
+time, resolution) and translates pan / dice / drill-down / roll-up /
+slice gestures into :class:`~repro.query.model.AggregationQuery` objects
+executed against any :class:`~repro.system.DistributedSystem`.
+
+Two optional extensions implement the paper's future-work section IX-A:
+
+* ``client_cache_cells`` > 0 enables a **front-end mini STASH graph** —
+  a real :class:`~repro.core.graph.StashGraph` with freshness-based
+  eviction living in the client.  Footprint cells already resident
+  (including ones recomputable by local roll-up) are served without any
+  server round trip; only the missing keys are fetched, via the
+  cluster's partial-evaluation API when available.
+* ``prefetch=True`` enables momentum prefetching: after two pans in the
+  same direction, the session fires the predicted next viewport as a
+  background query so the server cache is warm when the user gets there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import EvictionConfig, FreshnessConfig
+from repro.core.cell import Cell
+from repro.core.eviction import EvictionPolicy
+from repro.core.freshness import FreshnessTracker
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.core.planner import plan_query
+from repro.data.statistics import SummaryVector
+from repro.errors import QueryError
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution, ResolutionSpace
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery, QueryResult
+from repro.system import DistributedSystem
+
+#: Compass names accepted by :meth:`ExplorationSession.pan`.
+DIRECTIONS = {
+    "n": (1, 0), "ne": (1, 1), "e": (0, 1), "se": (-1, 1),
+    "s": (-1, 0), "sw": (-1, -1), "w": (0, -1), "nw": (1, -1),
+}
+
+
+@dataclass
+class SessionStats:
+    """Per-session counters."""
+
+    queries_sent: int = 0
+    #: Queries answered without any server round trip.
+    client_cache_hits: int = 0
+    #: Cells served from the client graph across all queries.
+    cells_served_locally: int = 0
+    #: Cells fetched from the server across all queries.
+    cells_fetched: int = 0
+    prefetches_issued: int = 0
+    history: list[AggregationQuery] = field(default_factory=list)
+
+
+class ExplorationSession:
+    """One user's interactive exploration of the dataset."""
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        viewport: BoundingBox,
+        day: TimeKey,
+        resolution: Resolution | None = None,
+        client_cache_cells: int = 0,
+        prefetch: bool = False,
+    ):
+        self.system = system
+        self.viewport = viewport
+        self.day = day
+        self.resolution = resolution or Resolution(4, TemporalResolution.DAY)
+        self.prefetch = prefetch
+        self.stats = SessionStats()
+        self._cache_capacity = client_cache_cells
+        if client_cache_cells > 0:
+            self._graph: StashGraph | None = StashGraph(
+                ResolutionSpace(1, 8), name="client"
+            )
+            self._tracker = FreshnessTracker(FreshnessConfig())
+            self._eviction = EvictionPolicy(
+                EvictionConfig(max_cells=client_cache_cells, safe_fraction=0.8)
+            )
+        else:
+            self._graph = None
+        self._last_pan: tuple[int, int] | None = None
+
+    # -- current query -------------------------------------------------------
+
+    def current_query(self) -> AggregationQuery:
+        return AggregationQuery(
+            bbox=self.viewport,
+            time_range=self.day.epoch_range(),
+            resolution=self.resolution,
+        )
+
+    # -- gestures ----------------------------------------------------------
+
+    def refresh(self) -> QueryResult:
+        """Re-evaluate the current viewport."""
+        return self._execute(self.current_query())
+
+    def pan(self, direction: str, fraction: float = 0.25) -> QueryResult:
+        """Move the viewport by a fraction of its extent."""
+        try:
+            dlat_sign, dlon_sign = DIRECTIONS[direction.lower()]
+        except KeyError:
+            raise QueryError(f"unknown pan direction {direction!r}") from None
+        self.viewport = self.viewport.translated(
+            dlat_sign * fraction * self.viewport.height,
+            dlon_sign * fraction * self.viewport.width,
+        )
+        result = self._execute(self.current_query())
+        self._maybe_prefetch((dlat_sign, dlon_sign), fraction)
+        self._last_pan = (dlat_sign, dlon_sign)
+        return result
+
+    def dice(self, area_factor: float) -> QueryResult:
+        """Shrink/grow the selection area about its center."""
+        self.viewport = self.viewport.scaled(area_factor)
+        return self._execute(self.current_query())
+
+    def drill_down(self) -> QueryResult:
+        """One step finer spatial resolution (zoom in)."""
+        finer = self.resolution.finer_spatial()
+        if finer is None:
+            raise QueryError("already at the finest spatial resolution")
+        self.resolution = finer
+        return self._execute(self.current_query())
+
+    def roll_up(self) -> QueryResult:
+        """One step coarser spatial resolution (zoom out)."""
+        coarser = self.resolution.coarser_spatial()
+        if coarser is None:
+            raise QueryError("already at the coarsest spatial resolution")
+        self.resolution = coarser
+        return self._execute(self.current_query())
+
+    def drill_time(self) -> QueryResult:
+        """One step finer temporal resolution (e.g. day bins -> hour bins).
+
+        The viewport's time extent is unchanged; only the bin granularity
+        of the answer changes — temporal drill-down in the paper's
+        spatiotemporal resolution lattice.
+        """
+        finer = self.resolution.finer_temporal()
+        if finer is None:
+            raise QueryError("already at the finest temporal resolution")
+        self.resolution = finer
+        return self._execute(self.current_query())
+
+    def roll_time(self) -> QueryResult:
+        """One step coarser temporal resolution (e.g. day -> month bins)."""
+        coarser = self.resolution.coarser_temporal()
+        if coarser is None:
+            raise QueryError("already at the coarsest temporal resolution")
+        self.resolution = coarser
+        return self._execute(self.current_query())
+
+    def slice_day(self, day: TimeKey) -> QueryResult:
+        """Jump to a different temporal slice."""
+        self.day = day
+        return self._execute(self.current_query())
+
+    def lasso(self, polygon) -> QueryResult:
+        """Query an arbitrary polygonal selection (freehand lasso tool).
+
+        The viewport is unchanged; the polygon is evaluated at the
+        session's current day and resolution.
+        """
+        query = AggregationQuery.for_polygon(
+            polygon,
+            time_range=self.day.epoch_range(),
+            resolution=self.resolution,
+        )
+        return self._execute(query)
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self, query: AggregationQuery) -> QueryResult:
+        self.stats.history.append(query)
+        if self._graph is None:
+            self.stats.queries_sent += 1
+            return self.system.run_query(query)
+        return self._execute_with_client_graph(query)
+
+    def _execute_with_client_graph(self, query: AggregationQuery) -> QueryResult:
+        assert self._graph is not None
+        footprint = query.footprint()
+        plan = plan_query(
+            self._graph, footprint, self.system.attribute_names
+        )
+        # Cache client-side roll-ups: they are complete cells now.
+        for key, rollup in plan.rollup.items():
+            self._graph.upsert(Cell(key=key, summary=rollup.summary))
+        found = plan.found
+        self.stats.cells_served_locally += len(found)
+
+        if not plan.missing:
+            self.stats.client_cache_hits += 1
+            self._touch(footprint)
+            return QueryResult(
+                query=query,
+                cells={k: v for k, v in found.items() if not v.is_empty},
+                latency=0.0,
+                provenance={"client_cached": len(found)},
+            )
+
+        self.stats.queries_sent += 1
+        if hasattr(self.system, "run_cells"):
+            # Partial fetch: only the keys the client graph is missing.
+            result = self.system.run_cells(query, plan.missing)
+            fetched_keys = plan.missing
+        else:
+            # Fallback for engines without the partial API.
+            result = self.system.run_query(query)
+            fetched_keys = footprint
+        self.stats.cells_fetched += len(fetched_keys)
+
+        empty = SummaryVector.empty(self.system.attribute_names)
+        merged = dict(found)
+        for key in fetched_keys:
+            vec = result.cells.get(key, empty)
+            merged[key] = vec
+            self._graph.upsert(Cell(key=key, summary=vec))
+        self._touch(footprint)
+        self._eviction.enforce(
+            self._graph, self._tracker, self._now()
+        )
+        provenance = dict(result.provenance)
+        provenance["client_cached"] = len(found)
+        return QueryResult(
+            query=query,
+            cells={k: v for k, v in merged.items() if not v.is_empty},
+            latency=result.latency,
+            provenance=provenance,
+        )
+
+    def _now(self) -> float:
+        return self.system.sim.now
+
+    def _touch(self, keys: list[CellKey]) -> None:
+        assert self._graph is not None
+        self._tracker.touch_cells(self._graph, keys, self._now())
+
+    def _maybe_prefetch(self, direction: tuple[int, int], fraction: float) -> None:
+        """Momentum prediction: two same-direction pans -> prefetch a third."""
+        if not self.prefetch or self._last_pan != direction:
+            return
+        predicted = self.current_query().panned(
+            direction[0] * fraction * self.viewport.height,
+            direction[1] * fraction * self.viewport.width,
+        )
+        # Fire-and-forget: warms the server cache, result discarded.
+        self.system.submit(predicted)
+        self.stats.prefetches_issued += 1

@@ -1,0 +1,182 @@
+"""Configuration dataclasses for every tunable in the STASH reproduction.
+
+The paper reports results from a 120-node physical cluster processing the
+~1.1 TB NOAA NAM dataset.  We reproduce the system on a deterministic
+discrete-event simulator; every hardware constant the paper's testbed
+implied (disk seek/throughput, NIC latency/bandwidth, per-record CPU cost)
+is an explicit, documented knob here so experiments are reproducible and
+the calibration is auditable (see DESIGN.md section 5).
+
+All simulated durations are in **seconds of simulated time**; all sizes in
+bytes unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Hardware cost constants driving the discrete-event simulation.
+
+    Defaults are calibrated so that a cold country-sized query lands in
+    the multi-second range and a fully cached one in the tens of
+    milliseconds, matching the latency *ratios* of the paper's Fig. 6a.
+    """
+
+    #: One-way network latency for any message (seconds).
+    network_latency: float = 2.0e-4
+    #: Network bandwidth (bytes / second).
+    network_bandwidth: float = 1.0e9
+    #: Disk seek + request overhead per block read (seconds).
+    disk_seek: float = 4.0e-3
+    #: Sustained disk read throughput (bytes / second).
+    disk_bandwidth: float = 1.5e8
+    #: Multiplier applied to on-disk block sizes to emulate the paper's
+    #: TB-scale dataset with a laptop-scale synthetic one.
+    data_scale: float = 64.0
+    #: CPU cost to scan + bin one raw observation record (seconds).
+    scan_cost_per_record: float = 2.0e-7
+    #: CPU cost to look up one cell in the in-memory graph (seconds).
+    cell_lookup_cost: float = 2.0e-6
+    #: CPU cost to merge one child cell into a parent aggregate (seconds).
+    cell_merge_cost: float = 1.0e-6
+    #: CPU cost to insert one cell into the graph (population path).
+    cell_insert_cost: float = 4.0e-6
+    #: Fixed per-request server-side overhead (deserialize, dispatch).
+    request_overhead: float = 5.0e-4
+    #: Approximate serialized size of one cell on the wire (bytes).
+    cell_wire_size: int = 256
+    #: Approximate serialized size of one raw record on disk (bytes).
+    record_disk_size: int = 64
+
+    def disk_read_time(self, nbytes: int) -> float:
+        """Simulated seconds to read ``nbytes`` (pre-scaling) from disk."""
+        return self.disk_seek + (nbytes * self.data_scale) / self.disk_bandwidth
+
+    def network_time(self, nbytes: int) -> float:
+        """Simulated seconds for a message of ``nbytes`` to traverse a link."""
+        return self.network_latency + nbytes / self.network_bandwidth
+
+
+@dataclass(frozen=True)
+class FreshnessConfig:
+    """Freshness scoring parameters (paper section V-C)."""
+
+    #: Freshness added to every cell of a directly accessed region.
+    f_inc: float = 1.0
+    #: Fraction of ``f_inc`` dispersed to each cell in the immediate
+    #: spatiotemporal neighborhood of an accessed region.
+    dispersion_fraction: float = 0.35
+    #: Exponential decay half-life of freshness (simulated seconds).
+    half_life: float = 120.0
+    #: Whether to disperse freshness across temporal neighbors too.
+    disperse_temporal: bool = True
+
+
+@dataclass(frozen=True)
+class EvictionConfig:
+    """Cell replacement thresholds (paper section V-C)."""
+
+    #: Hard capacity: max cells resident in one node's local graph.
+    max_cells: int = 200_000
+    #: After a threshold breach, evict until at or below this fraction of
+    #: ``max_cells`` (the paper's "safe limit").
+    safe_fraction: float = 0.8
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Dynamic clique replication parameters (paper section VII)."""
+
+    #: A node deems itself hotspotted when its pending request queue
+    #: exceeds this many entries (paper used 100).
+    hotspot_queue_threshold: int = 100
+    #: Clique depth: a clique is a cell plus descendants this many levels
+    #: down (paper example: depth 2).
+    clique_depth: int = 2
+    #: Max number of cells replicated in one handoff (paper's ``N``).
+    max_replicated_cells: int = 4_000
+    #: Max cliques per handoff (paper's top ``K``).
+    top_k_cliques: int = 8
+    #: Cooldown between successive handoffs on one node (simulated s).
+    cooldown: float = 30.0
+    #: Probability that a query fully covered by a replica is rerouted
+    #: to the helper node.
+    reroute_probability: float = 0.5
+    #: Guest-graph entries unused for this long are purged (simulated s).
+    guest_ttl: float = 120.0
+    #: Routing-table entries older than this are purged (simulated s).
+    routing_ttl: float = 180.0
+    #: Max random fallback probes around the antipode when the antipode
+    #: node declines a distress request.
+    max_candidate_probes: int = 8
+    #: Capacity of a helper node's guest graph (cells).
+    guest_capacity: int = 100_000
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology and concurrency of the simulated cluster."""
+
+    #: Number of storage/STASH nodes (the paper used 120).
+    num_nodes: int = 16
+    #: Worker threads per node servicing the request queue (Z420: 8 cores).
+    workers_per_node: int = 4
+    #: Geohash prefix length used to partition data over the DHT
+    #: (the paper partitioned on the first 2 characters).
+    partition_precision: int = 2
+    #: Geohash precision of individual storage blocks (disk read units).
+    #: Galileo stores many finer-grained block files inside each node's
+    #: partition; a node owns every block whose prefix falls in its
+    #: partition.  Must be >= partition_precision.
+    block_precision: int = 3
+    #: Seed for any randomized placement decisions.
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Simulated ElasticSearch baseline (paper section VIII-A)."""
+
+    #: Shards per index (the paper used 600 over 120 data nodes).
+    num_shards: int = 64
+    #: Entries in the exact-match (request) cache per node.
+    request_cache_entries: int = 1_024
+    #: Page/block LRU cache capacity per node, in chunks.  Calibrated to
+    #: the paper's regime (1.1 TB corpus vs 16 GB nodes): the cache holds
+    #: only a sliver of any realistic query working set, so overlapping-
+    #: but-not-identical queries mostly re-read disk.  Raise this to
+    #: explore RAM-rich deployments.
+    page_cache_blocks: int = 4
+    #: Fraction of scan CPU saved when a filter bitset is cached
+    #: (models the node query cache).
+    filter_cache_speedup: float = 0.1
+
+
+@dataclass(frozen=True)
+class StashConfig:
+    """Top-level configuration bundle for a STASH deployment."""
+
+    cost: CostModel = field(default_factory=CostModel)
+    freshness: FreshnessConfig = field(default_factory=FreshnessConfig)
+    eviction: EvictionConfig = field(default_factory=EvictionConfig)
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    elastic: ElasticConfig = field(default_factory=ElasticConfig)
+    #: Enable the dynamic clique replication subsystem (RQ-3).
+    enable_replication: bool = True
+    #: Enable roll-up recomputation of missing coarse cells from cached
+    #: finer cells (paper V-B).  Off forces disk for every cache miss.
+    enable_rollup: bool = True
+    #: Enable predictive prefetching (paper future-work extension).
+    enable_prefetch: bool = False
+
+    def with_(self, **kwargs: Any) -> "StashConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = StashConfig()

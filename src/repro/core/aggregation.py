@@ -1,0 +1,83 @@
+"""Roll-up recomputation: build missing cells from cached finer cells.
+
+The collective cache answers a miss without disk if the missing cell can
+be computed "from the existing cached values" (paper V-B).  Summary
+statistics are a mergeable monoid, so a parent cell equals the merge of
+any *complete* single-axis set of its children.  Completeness is
+presence: the graph stores empty cells explicitly, so a parent is
+recomputable iff every child key along one axis is resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cell import Cell
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.data.block import BlockId
+from repro.data.statistics import SummaryVector
+
+
+@dataclass(frozen=True)
+class RollupResult:
+    """A successfully rolled-up cell and its cost driver."""
+
+    summary: SummaryVector
+    merges: int
+    axis: str
+    backing_blocks: frozenset[BlockId]
+
+
+def _try_axis(
+    graph: StashGraph, children: list[CellKey]
+) -> tuple[list[Cell], bool]:
+    """Fetch all child cells; complete only if every key is resident."""
+    cells = []
+    for key in children:
+        cell = graph.get(key)
+        if cell is None:
+            return [], False
+        cells.append(cell)
+    return cells, True
+
+
+def try_rollup(
+    graph: StashGraph, key: CellKey, attributes: list[str]
+) -> RollupResult | None:
+    """Attempt to recompute ``key`` from cached children.
+
+    Tries the spatial axis (32 children) then the temporal axis; returns
+    None when neither is completely resident or the resolutions fall
+    outside the graph's space.
+    """
+    space = graph.space
+    for axis in ("spatial", "temporal"):
+        finer = (
+            key.resolution.finer_spatial()
+            if axis == "spatial"
+            else key.resolution.finer_temporal()
+        )
+        if finer is None or not space.contains(finer):
+            continue
+        children = key.children(axis)
+        if not children:
+            continue
+        cells, complete = _try_axis(graph, children)
+        if not complete:
+            continue
+        nonempty = [cell.summary for cell in cells if not cell.summary.is_empty]
+        if nonempty:
+            summary = SummaryVector.merge_all(nonempty)
+        else:
+            summary = SummaryVector.empty(attributes)
+        blocks: set[BlockId] = set()
+        for cell in cells:
+            blocks.update(graph.plm.blocks_of(graph.level_of(cell.key), cell.key))
+        return RollupResult(
+            summary=summary,
+            merges=len(cells),
+            axis=axis,
+            backing_blocks=frozenset(blocks),
+        )
+    return None

@@ -1,0 +1,65 @@
+"""The STASH Cell: vertex of the STASH graph (paper section IV-A).
+
+A Cell is "the minimum unit of data storage in STASH": per-attribute
+aggregated summary statistics for one spatiotemporal bin, labeled by its
+:class:`~repro.core.keys.CellKey`, plus freshness bookkeeping used by the
+replacement policy.  Edge information is not stored — it is computed from
+the key (see :mod:`repro.core.keys`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.keys import CellKey
+from repro.data.statistics import SummaryVector
+from repro.errors import CacheError
+
+
+@dataclass
+class Cell:
+    """One cached aggregation bin.
+
+    ``freshness`` and ``last_touched`` are mutable bookkeeping owned by
+    the freshness tracker; ``summary`` is immutable content.
+    """
+
+    key: CellKey
+    summary: SummaryVector
+    #: Current freshness score (decayed access weight, paper V-C-1).
+    freshness: float = 0.0
+    #: Simulated time of the last freshness update.
+    last_touched: float = 0.0
+    #: Number of direct accesses (for diagnostics; freshness is the policy).
+    access_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.summary.is_empty:
+            # Empty cells are representable (a region with no observations)
+            # but must still carry the attribute schema.
+            if not self.summary.attributes:
+                raise CacheError(f"cell {self.key} has no attributes")
+
+    @property
+    def count(self) -> int:
+        """Number of raw observations aggregated into this cell."""
+        return self.summary.count
+
+    def touched(self, amount: float, now: float, decay_rate: float) -> None:
+        """Apply a freshness increment with exponential decay since last touch.
+
+        ``decay_rate`` is ln(2) / half_life; see
+        :class:`~repro.core.freshness.FreshnessTracker`.
+        """
+        import math
+
+        elapsed = max(0.0, now - self.last_touched)
+        self.freshness = self.freshness * math.exp(-decay_rate * elapsed) + amount
+        self.last_touched = now
+
+    def decayed_freshness(self, now: float, decay_rate: float) -> float:
+        """Freshness as of ``now`` without mutating the cell."""
+        import math
+
+        elapsed = max(0.0, now - self.last_touched)
+        return self.freshness * math.exp(-decay_rate * elapsed)

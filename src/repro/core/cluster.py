@@ -1,0 +1,251 @@
+"""The STASH cluster: nodes, warm-up, preloading, and inspection helpers.
+
+:class:`StashCluster` is the system under test in every STASH experiment.
+Besides the client API inherited from
+:class:`~repro.system.DistributedSystem`, it offers experiment utilities:
+``warm`` (run queries only to heat the cache), ``preload_fraction``
+(directly stack a fraction of a query's cells into the graphs, as the
+paper does for the 50/75/100% zoom scenarios), and block invalidation
+(the PLM real-time-update path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, StashConfig
+from repro.core.cell import Cell
+from repro.core.keys import CellKey
+from repro.core.node import StashNode
+from repro.data.block import BlockId
+from repro.data.observation import ObservationBatch
+from repro.data.statistics import SummaryVector
+from repro.errors import CacheError
+from repro.geo.resolution import ResolutionSpace
+from repro.query.model import AggregationQuery
+from repro.sim.engine import Simulator
+from repro.storage.backend import scan_blocks
+from repro.system import DistributedSystem
+
+
+class StashCluster(DistributedSystem):
+    """A cluster of :class:`~repro.core.node.StashNode`."""
+
+    def __init__(
+        self,
+        dataset: ObservationBatch,
+        config: StashConfig = DEFAULT_CONFIG,
+        sim: Simulator | None = None,
+        space: ResolutionSpace | None = None,
+    ):
+        super().__init__(dataset, config, sim)
+        self.space = space if space is not None else ResolutionSpace(1, 8)
+        self.nodes: dict[str, StashNode] = {}
+
+    def _start_nodes(self) -> None:
+        for index, node_id in enumerate(self.node_ids):
+            node = StashNode(
+                self.sim,
+                self.network,
+                self.catalog,
+                node_id,
+                self.config,
+                partitioner=self.partitioner,
+                space=self.space,
+                attribute_names=self.attribute_names,
+                node_index=index,
+            )
+            self.nodes[node_id] = node
+            node.start()
+
+    # -- cache state inspection ------------------------------------------------
+
+    def total_cached_cells(self) -> int:
+        return sum(len(node.graph) for node in self.nodes.values())
+
+    def total_guest_cells(self) -> int:
+        return sum(len(node.guest) for node in self.nodes.values())
+
+    def counters_total(self) -> dict[str, int]:
+        """Cluster-wide sum of per-node counters."""
+        out: dict[str, int] = {}
+        for node in self.nodes.values():
+            for name, value in node.counters.as_dict().items():
+                out[name] = out.get(name, 0) + value
+        return out
+
+    def owner_node(self, key: CellKey) -> StashNode:
+        return self.nodes[self.partitioner.node_for(key.geohash)]
+
+    # -- experiment utilities ----------------------------------------------------
+
+    def warm(self, queries: list[AggregationQuery]) -> None:
+        """Run queries serially just to heat the cache (results dropped)."""
+        for query in queries:
+            self.run_query(query)
+        self.drain()
+
+    def compute_footprint_cells(
+        self, query: AggregationQuery
+    ) -> dict[CellKey, SummaryVector]:
+        """Complete (including empty) cell values for a query footprint.
+
+        Computed directly from the catalog, outside simulated time; used
+        for preloading and for correctness oracles.
+        """
+        footprint = query.footprint()
+        needed: set[BlockId] = set()
+        for key in footprint:
+            needed.update(self.catalog.blocks_for_cell(key))
+        blocks = [self.catalog.get_block(b) for b in sorted(needed)]
+        scanned, _stats = scan_blocks(blocks, query)
+        return {
+            key: scanned.get(key, SummaryVector.empty(self.attribute_names))
+            for key in footprint
+        }
+
+    def preload_fraction(
+        self,
+        query: AggregationQuery,
+        fraction: float,
+        seed: int = 0,
+    ) -> int:
+        """Stack a fraction of a query's cells into the cache as regions.
+
+        Reproduces the paper's zoom setup: "we have randomly stacked the
+        STASH graph with *regions* covering 50%, 75% and 100% of all the
+        relevant Cells".  A region here is one storage block's extent:
+        cells are grouped by backing block and whole random groups are
+        cached, so a cached fraction translates into a proportional
+        reduction in block reads (caching a scatter of individual cells
+        would leave every block still needed).  Insertion is a setup step
+        — it consumes no simulated time.  Returns the cells inserted.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise CacheError(f"fraction must be in [0, 1], got {fraction}")
+        self.start()
+        cells = self.compute_footprint_cells(query)
+        keys = query.footprint()
+        groups: dict[tuple, list[CellKey]] = {}
+        for key in keys:
+            blocks = tuple(self.catalog.blocks_for_cell(key))
+            group = blocks if blocks else ("empty", key.geohash)
+            groups.setdefault(group, []).append(key)
+        order = sorted(groups, key=str)
+        rng = np.random.default_rng(seed)
+        rng.shuffle(order)
+        take = int(round(len(keys) * fraction))
+        inserted = 0
+        for group in order:
+            if inserted >= take:
+                break
+            for key in groups[group]:
+                node = self.owner_node(key)
+                blocks = frozenset(self.catalog.blocks_for_cell(key))
+                if node.graph.upsert(Cell(key=key, summary=cells[key]), blocks):
+                    inserted += 1
+        return inserted
+
+    # -- partial evaluation (front-end mini graphs, paper IX-A) ---------------
+
+    def submit_cells(self, query: AggregationQuery, keys: list[CellKey]):
+        """Submit a partial query for an explicit cell-key list."""
+        self.start()
+        return self.sim.process(self._client_cells_request(query, keys))
+
+    def run_cells(self, query: AggregationQuery, keys: list[CellKey]):
+        """Resolve exactly ``keys`` (all within ``query``'s extent).
+
+        Returns a :class:`~repro.query.model.QueryResult` whose cells are
+        the non-empty members of ``keys``; requested keys absent from the
+        result are known-empty.  This is the server half of the paper's
+        future-work client-side STASH graph: the front-end fetches only
+        the cells it is missing.
+        """
+        return self.sim.run(until=self.submit_cells(query, keys))
+
+    def _client_cells_request(self, query: AggregationQuery, keys: list[CellKey]):
+        from repro.query.model import QueryResult
+        from repro.system import CLIENT_ID
+
+        started = self.sim.now
+        coordinator = self.coordinator_for(query)
+        reply = yield self.network.request(
+            CLIENT_ID,
+            coordinator,
+            "evaluate_cells",
+            {"query": query, "cells": keys},
+            size=256 + 32 * len(keys),
+        )
+        latency = self.sim.now - started
+        self.latencies.record(latency)
+        self.timeline.record_completion(self.sim.now)
+        return QueryResult(
+            query=query,
+            cells=reply["cells"],
+            latency=latency,
+            provenance=reply.get("provenance", {}),
+        )
+
+    # -- real-time updates (PLM path, paper IV-D) ------------------------------
+
+    def invalidate_block(self, block_id: BlockId) -> int:
+        """Drop every cached cell (local and guest) derived from a block."""
+        dropped = 0
+        for node in self.nodes.values():
+            dropped += len(node.graph.invalidate_block(block_id))
+            dropped += len(node.guest.invalidate_block(block_id))
+        return dropped
+
+    def ingest_live(self, batch: ObservationBatch) -> tuple[int, int]:
+        """Ingest new observations into the running cluster.
+
+        The storage layer appends the records to their blocks; every
+        cached cell whose extent overlaps a touched block is dropped so
+        the next access recomputes a fresh summary (paper IV-D: "the PLM
+        can be adjusted during an update ... so that stale data summaries
+        are recomputed in case of future access").
+
+        Invalidation is by *extent*, not just the PLM's reverse index: a
+        brand-new block may fall inside a cell that was cached as empty
+        (its PLM block set does not mention the block yet), and that cell
+        is stale too.  Cost: O(cached cells x touched days) — updates are
+        rare relative to queries.
+
+        Returns (blocks touched, cached cells invalidated).
+        """
+        self.start()
+        touched = self.catalog.ingest(batch)
+        by_day: dict[str, set[str]] = {}
+        for block_id in touched:
+            by_day.setdefault(block_id.day, set()).add(block_id.geohash)
+        day_ranges = {
+            day: BlockId(geohash="0", day=day).time_key.epoch_range()
+            for day in by_day
+        }
+
+        def overlaps(cell_key: CellKey) -> bool:
+            for day, prefixes in by_day.items():
+                day_range = day_ranges[day]
+                cell_range = cell_key.time_range
+                if not (
+                    cell_range.start <= day_range.start < cell_range.end
+                    or day_range.start <= cell_range.start < day_range.end
+                ):
+                    continue
+                geohash = cell_key.geohash
+                for prefix in prefixes:
+                    if prefix.startswith(geohash) or geohash.startswith(prefix):
+                        return True
+            return False
+
+        invalidated = 0
+        for node in self.nodes.values():
+            for graph in (node.graph, node.guest):
+                stale = [
+                    cell.key for cell in graph.cells() if overlaps(cell.key)
+                ]
+                for key in stale:
+                    graph.remove(key)
+                invalidated += len(stale)
+        return len(touched), invalidated

@@ -1,0 +1,56 @@
+"""Cell replacement: evict lowest-freshness cells past the threshold.
+
+"STASH Cell replacement involves evicting the Cells with the lowest
+freshness score till the capacity goes below a safe limit" (paper V-C-2).
+Combined with freshness dispersion, whole hot regions survive eviction
+as connected areas.
+"""
+
+from __future__ import annotations
+
+from repro.config import EvictionConfig
+from repro.core.freshness import FreshnessTracker
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.errors import CacheError
+
+
+class EvictionPolicy:
+    """Threshold/safe-limit eviction by decayed freshness."""
+
+    def __init__(self, config: EvictionConfig):
+        if config.max_cells < 1:
+            raise CacheError("max_cells must be >= 1")
+        if not 0.0 < config.safe_fraction <= 1.0:
+            raise CacheError("safe_fraction must be in (0, 1]")
+        self.config = config
+        self.evictions = 0
+
+    @property
+    def safe_limit(self) -> int:
+        return max(1, int(self.config.max_cells * self.config.safe_fraction))
+
+    def over_threshold(self, graph: StashGraph) -> bool:
+        return len(graph) > self.config.max_cells
+
+    def enforce(
+        self, graph: StashGraph, tracker: FreshnessTracker, now: float
+    ) -> list[CellKey]:
+        """Evict until at or below the safe limit; returns evicted keys.
+
+        No-op when the graph is under the hard threshold.  Eviction order
+        is ascending decayed freshness with deterministic key tie-break.
+        """
+        if not self.over_threshold(graph):
+            return []
+        target = self.safe_limit
+        excess = len(graph) - target
+        ranked = sorted(
+            graph.cells(),
+            key=lambda cell: (tracker.score(cell, now), str(cell.key)),
+        )
+        victims = [cell.key for cell in ranked[:excess]]
+        for key in victims:
+            graph.remove(key)
+        self.evictions += len(victims)
+        return victims

@@ -1,0 +1,102 @@
+"""Freshness scoring and neighborhood dispersion (paper section V-C).
+
+Freshness combines frequency and recency: every access adds ``f_inc``
+after exponentially decaying the previous score, so
+``freshness(t) = sum_i f_i * exp(-lambda * (t - t_i))`` — the product of
+access count and a time-decay function the paper describes.  When a
+region is accessed, a configurable fraction of ``f_inc`` is *dispersed*
+to the cells in its immediate spatiotemporal neighborhood (Fig. 3), so
+hot regions are evicted as connected areas rather than ragged patches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import FreshnessConfig
+from repro.core.keys import CellKey
+
+
+class FreshnessTracker:
+    """Applies freshness updates to cells of one node's graph."""
+
+    def __init__(self, config: FreshnessConfig):
+        self.config = config
+        if config.half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.decay_rate = math.log(2.0) / config.half_life
+
+    def touch_cells(self, graph, keys: list[CellKey], now: float) -> int:
+        """Direct access: full ``f_inc`` to each present cell.
+
+        Returns the number of cells actually touched (absent keys are
+        skipped — only resident cells carry freshness).
+        """
+        touched = 0
+        for key in keys:
+            cell = graph.get(key)
+            if cell is not None:
+                cell.touched(self.config.f_inc, now, self.decay_rate)
+                cell.access_count += 1
+                touched += 1
+        return touched
+
+    def disperse_to_neighborhood(
+        self, graph, ring_keys: list[CellKey], now: float
+    ) -> int:
+        """Neighborhood dispersion: fraction of ``f_inc`` to ring cells."""
+        amount = self.config.f_inc * self.config.dispersion_fraction
+        touched = 0
+        for key in ring_keys:
+            cell = graph.get(key)
+            if cell is not None:
+                cell.touched(amount, now, self.decay_rate)
+                touched += 1
+        return touched
+
+    def score(self, cell, now: float) -> float:
+        """Current decayed freshness of a cell (no mutation)."""
+        return cell.decayed_freshness(now, self.decay_rate)
+
+
+def neighborhood_ring(
+    footprint: list[CellKey],
+) -> list[CellKey]:
+    """The immediate spatiotemporal neighborhood of a footprint.
+
+    All lateral neighbors (8 spatial + 2 temporal) of footprint cells that
+    are not themselves in the footprint — the grey cells of paper Fig. 3.
+
+    General-purpose O(cells x 10) form; the query path uses
+    :func:`query_ring`, which exploits the footprint being a box cover.
+    """
+    members = set(footprint)
+    ring: dict[CellKey, None] = {}
+    for key in footprint:
+        for neighbor in key.lateral_neighbors():
+            if neighbor not in members and neighbor not in ring:
+                ring[neighbor] = None
+    return list(ring)
+
+
+def query_ring(query) -> list[CellKey]:
+    """The neighborhood ring of a query footprint, via box geometry.
+
+    Because a query footprint is (rectangular spatial cover) x
+    (contiguous temporal keys), its ring is the spatial perimeter ring
+    crossed with the time keys, plus the cover crossed with the two
+    adjacent time bins — O(perimeter + cover) instead of touching every
+    cell's 10 lateral neighbors.
+    """
+    from repro.geo.cover import covering_cells, expand_ring
+
+    precision = query.resolution.spatial
+    snapped = query.snapped_bbox()
+    spatial_cover = covering_cells(snapped, precision)
+    spatial_ring = expand_ring(snapped, precision)
+    time_keys = query.time_range.covering_keys(query.resolution.temporal)
+    ring = [CellKey(g, t) for g in spatial_ring for t in time_keys]
+    before = time_keys[0].step(-1)
+    after = time_keys[-1].step(1)
+    ring.extend(CellKey(g, t) for g in spatial_cover for t in (before, after))
+    return ring

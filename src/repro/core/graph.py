@@ -1,0 +1,114 @@
+"""The per-node STASH graph: levels of cells + PLM + eviction hooks.
+
+``G_STASH = (V, {E_H, E_L})`` — vertices are Cells grouped into levels by
+spatiotemporal resolution (paper IV-C); both edge families are computed
+from cell keys on demand (see :mod:`repro.core.keys`), so the graph
+stores only the level maps and the PLM.
+
+Empty cells (zero observations) are stored explicitly: presence of a key
+— empty or not — means "this bin's value is known and complete", which is
+what makes roll-up recomputation sound (a missing child might have
+unscanned data on disk; an empty child is known to have none).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.cell import Cell
+from repro.core.keys import CellKey
+from repro.core.plm import PrecisionLevelMap
+from repro.data.block import BlockId
+from repro.errors import CacheError
+from repro.geo.resolution import ResolutionSpace
+
+
+class StashGraph:
+    """One node's in-memory cell store (local or guest)."""
+
+    def __init__(self, space: ResolutionSpace, name: str = "local"):
+        self.space = space
+        self.name = name
+        #: level -> {cell key -> cell}
+        self._levels: dict[int, dict[CellKey, Cell]] = {}
+        self.plm = PrecisionLevelMap()
+
+    # -- size ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(cells) for cells in self._levels.values())
+
+    def level_sizes(self) -> dict[int, int]:
+        return {level: len(cells) for level, cells in self._levels.items() if cells}
+
+    # -- membership --------------------------------------------------------
+
+    def level_of(self, key: CellKey) -> int:
+        return self.space.level_of(key.resolution)
+
+    def contains(self, key: CellKey) -> bool:
+        return key in self._levels.get(self.level_of(key), ())
+
+    def get(self, key: CellKey) -> Cell | None:
+        return self._levels.get(self.level_of(key), {}).get(key)
+
+    def insert(
+        self,
+        cell: Cell,
+        backing_blocks: frozenset[BlockId] | None = None,
+    ) -> None:
+        """Add a complete cell; duplicate inserts are rejected.
+
+        ``backing_blocks`` defaults to the key's computed block set at the
+        caller's partition precision being unknown here, so callers on the
+        query path pass the explicit set they scanned.
+        """
+        level = self.level_of(cell.key)
+        cells = self._levels.setdefault(level, {})
+        if cell.key in cells:
+            raise CacheError(f"cell {cell.key} already cached in {self.name}")
+        cells[cell.key] = cell
+        if backing_blocks is None:
+            backing_blocks = frozenset()
+        self.plm.add(level, cell.key, backing_blocks)
+
+    def upsert(
+        self, cell: Cell, backing_blocks: frozenset[BlockId] | None = None
+    ) -> bool:
+        """Insert, or silently keep the existing cell; True if inserted.
+
+        Population is asynchronous (a background thread in the paper), so
+        two in-flight queries may race to populate the same cell; the
+        first write wins and both are correct (cells are complete values).
+        """
+        if self.contains(cell.key):
+            return False
+        self.insert(cell, backing_blocks)
+        return True
+
+    def remove(self, key: CellKey) -> Cell:
+        level = self.level_of(key)
+        cells = self._levels.get(level)
+        if not cells or key not in cells:
+            raise CacheError(f"cell {key} not cached in {self.name}")
+        cell = cells.pop(key)
+        self.plm.remove(level, key)
+        return cell
+
+    # -- iteration ---------------------------------------------------------
+
+    def cells(self) -> Iterator[Cell]:
+        for level_cells in self._levels.values():
+            yield from level_cells.values()
+
+    def cells_at_level(self, level: int) -> Iterator[Cell]:
+        yield from self._levels.get(level, {}).values()
+
+    # -- invalidation (real-time updates, paper IV-D) -----------------------
+
+    def invalidate_block(self, block_id: BlockId) -> list[CellKey]:
+        """Drop every cell computed from a now-stale block."""
+        stale = self.plm.dependents_of_block(block_id)
+        for key in stale:
+            self.remove(key)
+        return sorted(stale, key=str)

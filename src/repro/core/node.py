@@ -1,0 +1,520 @@
+"""The STASH node: cache-aware query evaluation over the storage node.
+
+Each node plays three roles (paper sections IV-VII):
+
+* **coordinator** for queries routed to it: plans the footprint over the
+  DHT, gathers cached/rolled-up cells from owners, scans disk for the
+  rest, and asynchronously populates the cache;
+* **cell owner** for the portion of the STASH graph the DHT assigns it:
+  serves ``fetch_cells``, applies freshness touches and dispersion,
+  accepts ``populate`` inserts and enforces eviction;
+* **replication participant**: detects its own hotspots, hands off hot
+  cliques to antipode helpers, keeps a guest graph of cliques replicated
+  *to* it, and serves rerouted ``evaluate_guest`` requests from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.config import StashConfig
+from repro.core.cell import Cell
+from repro.core.eviction import EvictionPolicy
+from repro.core.freshness import FreshnessTracker, query_ring
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.core.planner import plan_query
+from repro.data.block import BlockId
+from repro.data.statistics import SummaryVector
+from repro.dht.partitioner import Partitioner
+from repro.geo.resolution import ResolutionSpace
+from repro.query.model import AggregationQuery
+from repro.replication.antipode import antipode_candidates
+from repro.replication.clique import top_cliques
+from repro.replication.routing import RoutingTable
+from repro.sim.engine import Event
+from repro.sim.network import Message
+from repro.storage.node import StorageNode
+
+
+class GuestCliqueRegistry:
+    """Bookkeeping for cliques replicated *onto* this node."""
+
+    def __init__(self) -> None:
+        #: root key string -> (member keys, last_used sim time)
+        self.entries: dict[str, dict[str, Any]] = {}
+
+    def add(self, root: CellKey, members: list[CellKey], now: float) -> None:
+        self.entries[str(root)] = {"members": list(members), "last_used": now}
+
+    def touch_covering(self, keys: set[CellKey], now: float) -> None:
+        """Refresh last_used for every clique intersecting ``keys``."""
+        for entry in self.entries.values():
+            if any(member in keys for member in entry["members"]):
+                entry["last_used"] = now
+
+    def expired(self, now: float, ttl: float) -> list[str]:
+        return [
+            root
+            for root, entry in self.entries.items()
+            if now - entry["last_used"] > ttl
+        ]
+
+    def remove(self, root: str) -> list[CellKey]:
+        return self.entries.pop(root)["members"]
+
+
+class StashNode(StorageNode):
+    """A storage node extended with the STASH in-memory layer."""
+
+    def __init__(
+        self,
+        sim,
+        network,
+        catalog,
+        node_id: str,
+        config: StashConfig,
+        partitioner: Partitioner,
+        space: ResolutionSpace,
+        attribute_names: list[str],
+        node_index: int = 0,
+    ):
+        super().__init__(sim, network, catalog, node_id, config)
+        self.partitioner = partitioner
+        self.space = space
+        self.attribute_names = list(attribute_names)
+        self.graph = StashGraph(space, name=f"local:{node_id}")
+        self.guest = StashGraph(space, name=f"guest:{node_id}")
+        self.guest_cliques = GuestCliqueRegistry()
+        self.tracker = FreshnessTracker(config.freshness)
+        self.eviction = EvictionPolicy(config.eviction)
+        self.routing = RoutingTable(
+            ttl=config.replication.routing_ttl,
+            reroute_probability=config.replication.reroute_probability,
+        )
+        self.rng = np.random.default_rng(config.cluster.seed * 10_007 + node_index)
+        self._handoff_in_progress = False
+        self._last_handoff = -float("inf")
+        self.handoffs_completed = 0
+
+        self.register_handler("evaluate", self._handle_evaluate)
+        self.register_handler("evaluate_cells", self._handle_evaluate_cells)
+        self.register_handler("evaluate_guest", self._handle_evaluate_guest)
+        self.register_handler("fetch_cells", self._handle_fetch_cells)
+        self.register_handler("populate", self._handle_populate)
+        self.register_handler("distress", self._handle_distress)
+        self.register_handler("replicate", self._handle_replicate)
+
+    # ------------------------------------------------------------------
+    # hotspot detection (event-driven, paper VII-B-1)
+    # ------------------------------------------------------------------
+
+    def on_message_arrival(self, message: Message) -> None:
+        if not self.config.enable_replication:
+            return
+        if self._handoff_in_progress:
+            return
+        repl = self.config.replication
+        if self.pending_requests <= repl.hotspot_queue_threshold:
+            return
+        if self.sim.now - self._last_handoff < repl.cooldown:
+            return
+        self._handoff_in_progress = True
+        self.counters.increment("hotspots_detected")
+        self.sim.process(self._clique_handoff())
+
+    def _clique_handoff(self) -> Generator[Event, Any, None]:
+        """The decentralized handoff protocol (paper VII-B)."""
+        repl = self.config.replication
+        try:
+            now = self.sim.now
+            cliques = top_cliques(
+                self.graph,
+                self.tracker,
+                now,
+                depth=repl.clique_depth,
+                max_cells=repl.max_replicated_cells,
+                top_k=repl.top_k_cliques,
+            )
+            for clique in cliques:
+                if not clique.members:
+                    continue
+                candidates = antipode_candidates(
+                    clique.root.geohash,
+                    self.partitioner,
+                    exclude=self.node_id,
+                    rng=self.rng,
+                    max_probes=repl.max_candidate_probes,
+                )
+                helper = None
+                for candidate in candidates:
+                    ack = yield self.network.request(
+                        self.node_id,
+                        candidate,
+                        "distress",
+                        {"ncells": clique.size},
+                        size=64,
+                    )
+                    if ack:
+                        helper = candidate
+                        break
+                if helper is None:
+                    self.counters.increment("handoffs_no_helper")
+                    continue
+                payload_cells = []
+                for key in clique.members:
+                    cell = self.graph.get(key)
+                    if cell is None:  # evicted mid-handoff
+                        continue
+                    blocks = self.graph.plm.blocks_of(self.graph.level_of(key), key)
+                    payload_cells.append((key, cell.summary, blocks))
+                if not payload_cells:
+                    continue
+                ok = yield self.network.request(
+                    self.node_id,
+                    helper,
+                    "replicate",
+                    {"root": clique.root, "cells": payload_cells},
+                    size=len(payload_cells) * self.cost.cell_wire_size,
+                )
+                if ok:
+                    self.routing.add(
+                        clique.root,
+                        helper,
+                        frozenset(key for key, _, _ in payload_cells),
+                        self.sim.now,
+                    )
+                    self.handoffs_completed += 1
+                    self.counters.increment("handoffs_completed")
+        finally:
+            self._last_handoff = self.sim.now
+            self._handoff_in_progress = False
+
+    # ------------------------------------------------------------------
+    # helper-side replication handlers
+    # ------------------------------------------------------------------
+
+    def _purge_guest(self) -> None:
+        """Drop guest cliques unused beyond the TTL (paper VII-D)."""
+        ttl = self.config.replication.guest_ttl
+        for root in self.guest_cliques.expired(self.sim.now, ttl):
+            for key in self.guest_cliques.remove(root):
+                if self.guest.contains(key):
+                    self.guest.remove(key)
+            self.counters.increment("guest_cliques_purged")
+
+    def _handle_distress(self, message: Message) -> Generator[Event, Any, None]:
+        """Accept iff not hotspotted and the guest graph has room."""
+        self._purge_guest()
+        ncells = message.payload["ncells"]
+        repl = self.config.replication
+        accept = (
+            self.pending_requests <= repl.hotspot_queue_threshold
+            and len(self.guest) + ncells <= repl.guest_capacity
+        )
+        yield self.sim.timeout(self.cost.cell_lookup_cost)
+        self.network.respond(message, bool(accept), size=16)
+
+    def _handle_replicate(self, message: Message) -> Generator[Event, Any, None]:
+        root: CellKey = message.payload["root"]
+        cells: list[tuple[CellKey, SummaryVector, frozenset[BlockId]]] = (
+            message.payload["cells"]
+        )
+        if len(self.guest) + len(cells) > self.config.replication.guest_capacity:
+            self.network.respond(message, False, size=16)
+            return
+        inserted = []
+        for key, summary, blocks in cells:
+            if self.guest.upsert(Cell(key=key, summary=summary), blocks):
+                inserted.append(key)
+        yield self.sim.timeout(len(cells) * self.cost.cell_insert_cost)
+        self.guest_cliques.add(root, [key for key, _, _ in cells], self.sim.now)
+        self.counters.increment("guest_cells_accepted", len(inserted))
+        self.network.respond(message, True, size=16)
+
+    def _handle_evaluate_guest(self, message: Message) -> Generator[Event, Any, None]:
+        """Serve a rerouted query from the guest graph (paper VII-C)."""
+        yield self.sim.timeout(self.cost.request_overhead)
+        query: AggregationQuery = message.payload["query"]
+        footprint = query.footprint()
+        plan = plan_query(self.guest, footprint, self.attribute_names, attempt_rollup=False)
+        yield self.sim.timeout(plan.lookups * self.cost.cell_lookup_cost)
+        if plan.missing:
+            # Replica incomplete (e.g. purged between routing and arrival):
+            # fall back to a normal evaluation from here.
+            self.counters.increment("guest_fallbacks")
+            response = yield from self._evaluate_core(query, footprint)
+            response["provenance"]["rerouted"] = 1
+            self.network.respond(
+                message,
+                response,
+                size=len(response["cells"]) * self.cost.cell_wire_size,
+            )
+            return
+        self.guest_cliques.touch_covering(set(footprint), self.sim.now)
+        cells = {k: v for k, v in plan.cached.items() if not v.is_empty}
+        self.counters.increment("guest_queries_served")
+        self.network.respond(
+            message,
+            {
+                "cells": cells,
+                "provenance": {
+                    "rerouted": 1,
+                    "cells_from_cache": len(plan.cached),
+                },
+            },
+            size=len(cells) * self.cost.cell_wire_size,
+        )
+
+    # ------------------------------------------------------------------
+    # owner-side cache handlers
+    # ------------------------------------------------------------------
+
+    def _fetch_cells_impl(
+        self, payload: dict[str, Any]
+    ) -> Generator[Event, Any, dict[str, Any]]:
+        keys: list[CellKey] = payload["cells"]
+        ring: list[CellKey] = payload.get("ring", [])
+        plan = plan_query(
+            self.graph,
+            keys,
+            self.attribute_names,
+            attempt_rollup=self.config.enable_rollup,
+        )
+        yield self.sim.timeout(
+            plan.lookups * self.cost.cell_lookup_cost
+            + plan.merges * self.cost.cell_merge_cost
+        )
+        now = self.sim.now
+        self.tracker.touch_cells(self.graph, keys, now)
+        self.tracker.disperse_to_neighborhood(self.graph, ring, now)
+        # Cache successful roll-ups: they are complete cells now.
+        for key, rollup in plan.rollup.items():
+            self.graph.upsert(
+                Cell(key=key, summary=rollup.summary), rollup.backing_blocks
+            )
+        self.counters.increment("cells_served_from_cache", len(plan.cached))
+        self.counters.increment("cells_served_from_rollup", len(plan.rollup))
+        return {
+            "found": plan.found,
+            "missing": plan.missing,
+            "stats": {"cached": len(plan.cached), "rollup": len(plan.rollup)},
+        }
+
+    def _handle_fetch_cells(self, message: Message) -> Generator[Event, Any, None]:
+        yield self.sim.timeout(self.cost.request_overhead)
+        response = yield from self._fetch_cells_impl(message.payload)
+        self.network.respond(
+            message,
+            response,
+            size=len(response["found"]) * self.cost.cell_wire_size,
+        )
+
+    def _handle_populate(self, message: Message) -> Generator[Event, Any, None]:
+        """Background cache population (paper VIII-C-2: separate thread)."""
+        yield self.sim.timeout(self.cost.request_overhead)
+        cells: dict[CellKey, SummaryVector] = message.payload["cells"]
+        inserted = 0
+        for key, summary in cells.items():
+            blocks = frozenset(self.catalog.blocks_for_cell(key))
+            if self.graph.upsert(Cell(key=key, summary=summary), blocks):
+                inserted += 1
+        yield self.sim.timeout(inserted * self.cost.cell_insert_cost)
+        now = self.sim.now
+        self.tracker.touch_cells(self.graph, list(cells), now)
+        self.counters.increment("cells_populated", inserted)
+        evicted = self.eviction.enforce(self.graph, self.tracker, now)
+        if evicted:
+            self.counters.increment("cells_evicted", len(evicted))
+
+    # ------------------------------------------------------------------
+    # coordinator role
+    # ------------------------------------------------------------------
+
+    def _handle_evaluate(self, message: Message) -> Generator[Event, Any, None]:
+        query: AggregationQuery = message.payload["query"]
+        footprint = query.footprint()
+        if self.config.enable_replication:
+            # Routing-table check before full request processing: a
+            # rerouted query costs the hotspotted node one lookup, not a
+            # whole evaluation (paper VII-C).
+            helper = self.routing.choose_reroute(footprint, self.sim.now, self.rng)
+            if helper is not None:
+                yield self.sim.timeout(self.cost.cell_lookup_cost)
+                self.counters.increment("queries_rerouted")
+                self.network.send(
+                    self.node_id,
+                    helper,
+                    "evaluate_guest",
+                    {"query": query},
+                    size=512,
+                    reply_to=message.reply_to,
+                )
+                return
+        yield self.sim.timeout(self.cost.request_overhead)
+        response = yield from self._evaluate_core(query, footprint)
+        self.network.respond(
+            message,
+            response,
+            size=len(response["cells"]) * self.cost.cell_wire_size,
+        )
+
+    def _handle_evaluate_cells(self, message: Message) -> Generator[Event, Any, None]:
+        """Partial evaluation: resolve an explicit cell-key list.
+
+        Used by front-end mini STASH graphs (paper future work IX-A): a
+        client that already holds part of a viewport's footprint requests
+        exactly the missing cells, not the whole rectangle.
+        """
+        yield self.sim.timeout(self.cost.request_overhead)
+        query: AggregationQuery = message.payload["query"]
+        keys: list[CellKey] = message.payload["cells"]
+        response = yield from self._evaluate_core(query, keys)
+        self.counters.increment("partial_evaluations")
+        self.network.respond(
+            message,
+            response,
+            size=len(response["cells"]) * self.cost.cell_wire_size,
+        )
+
+    def _evaluate_core(
+        self, query: AggregationQuery, footprint: list[CellKey]
+    ) -> Generator[Event, Any, dict[str, Any]]:
+        """Footprint -> owners -> cache plan -> scans -> populate."""
+        ring = query_ring(query)
+        cells_by_owner: dict[str, list[CellKey]] = {}
+        for key in footprint:
+            cells_by_owner.setdefault(
+                self.partitioner.node_for(key.geohash), []
+            ).append(key)
+        ring_by_owner: dict[str, list[CellKey]] = {}
+        for key in ring:
+            ring_by_owner.setdefault(
+                self.partitioner.node_for(key.geohash), []
+            ).append(key)
+
+        events = []
+        for owner in sorted(cells_by_owner):
+            payload = {
+                "query": query,
+                "cells": cells_by_owner[owner],
+                "ring": ring_by_owner.get(owner, []),
+            }
+            if owner == self.node_id:
+                events.append(self.sim.process(self._fetch_cells_impl(payload)))
+            else:
+                events.append(
+                    self.network.request(
+                        self.node_id,
+                        owner,
+                        "fetch_cells",
+                        payload,
+                        size=len(payload["cells"]) * 32,
+                    )
+                )
+        responses = yield self.sim.all_of(events)
+
+        found: dict[CellKey, SummaryVector] = {}
+        missing: list[CellKey] = []
+        from_cache = from_rollup = 0
+        for response in responses:
+            found.update(response["found"])
+            missing.extend(response["missing"])
+            from_cache += response["stats"]["cached"]
+            from_rollup += response["stats"]["rollup"]
+
+        provenance = {
+            "cells_from_cache": from_cache,
+            "cells_from_rollup": from_rollup,
+            "cells_from_disk": 0,
+            "disk_blocks_read": 0,
+        }
+
+        if missing:
+            new_cells = yield from self._resolve_missing(query, missing, provenance)
+            found.update(new_cells)
+
+        cells = {key: vec for key, vec in found.items() if not vec.is_empty}
+        if query.attributes is not None:
+            cells = {
+                key: vec.project(query.attributes) for key, vec in cells.items()
+            }
+        return {"cells": cells, "provenance": provenance}
+
+    def _resolve_missing(
+        self,
+        query: AggregationQuery,
+        missing: list[CellKey],
+        provenance: dict[str, int],
+    ) -> Generator[Event, Any, dict[CellKey, SummaryVector]]:
+        """Scan the backing blocks of missing cells; populate async.
+
+        Scans always aggregate *all* attributes regardless of the query's
+        attribute selection: cached cells must be reusable by any future
+        query (selection is applied to the response, not the cache).
+        """
+        if query.attributes is not None:
+            query = AggregationQuery(
+                bbox=query.bbox,
+                time_range=query.time_range,
+                resolution=query.resolution,
+                attributes=None,
+            )
+        needed: set[BlockId] = set()
+        for key in missing:
+            needed.update(self.catalog.blocks_for_cell(key))
+        block_ids = sorted(needed)
+        plan = self.catalog.blocks_by_node(block_ids)
+        events = []
+        for node_id, ids in sorted(plan.items()):
+            if node_id == self.node_id:
+                events.append(self.sim.process(self.scan_locally(query, ids)))
+            else:
+                events.append(
+                    self.network.request(
+                        self.node_id,
+                        node_id,
+                        "scan",
+                        {"query": query, "block_ids": ids},
+                        size=1_024,
+                    )
+                )
+        partials = (yield self.sim.all_of(events)) if events else []
+
+        scanned: dict[CellKey, SummaryVector] = {}
+        merges = 0
+        for cells in partials:
+            for key, vec in cells.items():
+                existing = scanned.get(key)
+                if existing is None:
+                    scanned[key] = vec
+                else:
+                    scanned[key] = existing.merge(vec)
+                    merges += 1
+        if merges:
+            yield self.sim.timeout(merges * self.cost.cell_merge_cost)
+
+        new_cells: dict[CellKey, SummaryVector] = {}
+        for key in missing:
+            new_cells[key] = scanned.get(
+                key, SummaryVector.empty(self.attribute_names)
+            )
+        provenance["cells_from_disk"] = len(new_cells)
+        provenance["disk_blocks_read"] = len(block_ids)
+
+        # Fire-and-forget population on the owner nodes (separate thread
+        # in the paper; here separate service-pool messages).
+        by_owner: dict[str, dict[CellKey, SummaryVector]] = {}
+        for key, vec in new_cells.items():
+            by_owner.setdefault(self.partitioner.node_for(key.geohash), {})[key] = vec
+        for owner, cells in sorted(by_owner.items()):
+            self.network.send(
+                self.node_id,
+                owner,
+                "populate",
+                {"cells": cells},
+                size=len(cells) * self.cost.cell_wire_size,
+            )
+        return new_cells

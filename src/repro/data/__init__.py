@@ -1,0 +1,24 @@
+"""Data layer: observations, mergeable summary statistics, synthetic NAM data.
+
+The paper's cells hold "aggregated summary statistics" per attribute; this
+package defines those statistics as a commutative monoid so that parent
+cells can be recomputed exactly from any complete partition of children
+(the basis of STASH's collective caching and roll-up evaluation).
+"""
+
+from repro.data.statistics import AttributeSummary, SummaryVector
+from repro.data.observation import ObservationBatch, OBSERVATION_ATTRIBUTES
+from repro.data.generator import SyntheticNAMGenerator, DatasetSpec
+from repro.data.block import Block, BlockId, partition_into_blocks
+
+__all__ = [
+    "AttributeSummary",
+    "SummaryVector",
+    "ObservationBatch",
+    "OBSERVATION_ATTRIBUTES",
+    "SyntheticNAMGenerator",
+    "DatasetSpec",
+    "Block",
+    "BlockId",
+    "partition_into_blocks",
+]

@@ -1,0 +1,109 @@
+"""Storage blocks: the on-disk unit of the Galileo-like backend.
+
+Galileo partitions data into blocks by geohash so geospatially proximate
+points are colocated; "the granularity of the coverage of a data block is
+determined by the length of geohash code managed by the nodes" (paper
+section VI-C).  We partition on (geohash prefix, calendar day): each block
+holds every observation whose position falls in one coarse geohash cell on
+one day.  The paper's deployment used 2-character prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.observation import ObservationBatch
+from repro.errors import StorageError
+from repro.geo.geohash import bbox as geohash_bbox, encode_many
+from repro.geo.temporal import TemporalResolution, TimeKey, bin_epochs
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class BlockId:
+    """Identity of one storage block: coarse geohash cell + day."""
+
+    geohash: str
+    day: str  # TimeKey string form, e.g. '2013-02-02'
+
+    def __str__(self) -> str:
+        return f"{self.geohash}@{self.day}"
+
+    @property
+    def time_key(self) -> TimeKey:
+        return TimeKey.parse(self.day)
+
+
+@dataclass(frozen=True)
+class Block:
+    """One immutable storage block."""
+
+    block_id: BlockId
+    batch: ObservationBatch
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    @property
+    def nbytes(self) -> int:
+        """Raw byte size driving simulated disk-read cost."""
+        return self.batch.nbytes
+
+    def validate(self) -> None:
+        """Check every record belongs to this block's cell and day.
+
+        Used by tests and by the backend's ingest assertions; O(n) numpy
+        work, never called on the query path.
+        """
+        if len(self.batch) == 0:
+            return
+        box = geohash_bbox(self.block_id.geohash)
+        if not (
+            bool((self.batch.lats >= box.south).all())
+            and bool((self.batch.lats < box.north).all())
+            and bool((self.batch.lons >= box.west).all())
+            and bool((self.batch.lons < box.east).all())
+        ):
+            raise StorageError(f"records outside cell in block {self.block_id}")
+        day_range = self.block_id.time_key.epoch_range()
+        if not (
+            bool((self.batch.epochs >= day_range.start).all())
+            and bool((self.batch.epochs < day_range.end).all())
+        ):
+            raise StorageError(f"records outside day in block {self.block_id}")
+
+
+def partition_into_blocks(
+    batch: ObservationBatch, partition_precision: int
+) -> dict[BlockId, Block]:
+    """Split a batch into (geohash prefix, day) blocks, vectorized.
+
+    One grouped pass: compute per-record partition labels, sort once, and
+    slice contiguous runs into per-block sub-batches.
+    """
+    if partition_precision < 1:
+        raise StorageError("partition_precision must be >= 1")
+    n = len(batch)
+    if n == 0:
+        return {}
+    prefixes = encode_many(batch.lats, batch.lons, partition_precision)
+    days = bin_epochs(batch.epochs, TemporalResolution.DAY)
+    labels = np.char.add(np.char.add(prefixes, "@"), days)
+
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_labels[1:] != sorted_labels[:-1]
+    starts = np.flatnonzero(boundary)
+    ends = np.append(starts[1:], n)
+
+    out: dict[BlockId, Block] = {}
+    for start, end in zip(starts, ends):
+        idx = order[start:end]
+        label = str(sorted_labels[start])
+        geohash, day = label.split("@", 1)
+        block_id = BlockId(geohash=geohash, day=day)
+        out[block_id] = Block(block_id=block_id, batch=batch.select(idx))
+    return out

@@ -1,0 +1,131 @@
+"""Observation batches: structure-of-arrays record storage.
+
+Each observation has (lat, lon, epoch timestamp) plus float attributes —
+exactly the record shape the paper's NAM dataset provides (surface
+temperature, relative humidity, snow, precipitation).  Batches are
+immutable numpy SoA containers; every filter/bin operation is vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StatisticsError
+from repro.geo.bbox import BoundingBox
+from repro.geo.geohash import encode_many
+from repro.geo.temporal import TemporalResolution, TimeRange, bin_epochs
+
+#: The NAM-like attributes every synthetic observation carries.
+OBSERVATION_ATTRIBUTES = (
+    "temperature",
+    "humidity",
+    "precipitation",
+    "snow_depth",
+)
+
+
+@dataclass(frozen=True)
+class ObservationBatch:
+    """An immutable batch of observations in structure-of-arrays form."""
+
+    lats: np.ndarray
+    lons: np.ndarray
+    epochs: np.ndarray
+    attributes: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = self.lats.shape
+        if self.lons.shape != n or self.epochs.shape != n:
+            raise StatisticsError("coordinate array shapes differ")
+        for name, values in self.attributes.items():
+            if values.shape != n:
+                raise StatisticsError(f"attribute {name!r} shape mismatch")
+        for arr in (self.lats, self.lons, self.epochs, *self.attributes.values()):
+            arr.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.lats.size)
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return sorted(self.attributes)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of all arrays."""
+        arrays = (self.lats, self.lons, self.epochs, *self.attributes.values())
+        return int(sum(a.nbytes for a in arrays))
+
+    @staticmethod
+    def empty(attribute_names: tuple[str, ...] = OBSERVATION_ATTRIBUTES) -> "ObservationBatch":
+        z = np.array([], dtype=np.float64)
+        return ObservationBatch(
+            z, z.copy(), z.copy(), {a: np.array([], dtype=np.float64) for a in attribute_names}
+        )
+
+    # -- filtering (all vectorized, views/masks only) ----------------------
+
+    def select(self, mask: np.ndarray) -> "ObservationBatch":
+        """Subset by boolean mask or index array."""
+        return ObservationBatch(
+            self.lats[mask],
+            self.lons[mask],
+            self.epochs[mask],
+            {name: v[mask] for name, v in self.attributes.items()},
+        )
+
+    def filter_bbox(self, box: BoundingBox) -> "ObservationBatch":
+        """Observations inside the closed-open rectangle."""
+        mask = (
+            (self.lats >= box.south)
+            & (self.lats < box.north)
+            & (self.lons >= box.west)
+            & (self.lons < box.east)
+        )
+        return self.select(mask)
+
+    def filter_time(self, time_range: TimeRange) -> "ObservationBatch":
+        """Observations inside the half-open time range."""
+        mask = (self.epochs >= time_range.start) & (self.epochs < time_range.end)
+        return self.select(mask)
+
+    def concat(self, other: "ObservationBatch") -> "ObservationBatch":
+        if set(self.attributes) != set(other.attributes):
+            raise StatisticsError("cannot concat batches with different attributes")
+        return ObservationBatch(
+            np.concatenate([self.lats, other.lats]),
+            np.concatenate([self.lons, other.lons]),
+            np.concatenate([self.epochs, other.epochs]),
+            {
+                name: np.concatenate([v, other.attributes[name]])
+                for name, v in self.attributes.items()
+            },
+        )
+
+    @staticmethod
+    def concat_all(batches: list["ObservationBatch"]) -> "ObservationBatch":
+        if not batches:
+            return ObservationBatch.empty()
+        out = batches[0]
+        for batch in batches[1:]:
+            out = out.concat(batch)
+        return out
+
+    # -- binning ------------------------------------------------------------
+
+    def bin_keys(
+        self, spatial_precision: int, temporal_resolution: TemporalResolution
+    ) -> np.ndarray:
+        """Per-record composite bin label '<geohash>@<timekey>'.
+
+        The composite string is the flat form of the paper's Cell index
+        key (spatiotemporal label); grouping records by it yields exactly
+        one group per non-empty cell.
+        """
+        if len(self) == 0:
+            return np.array([], dtype="U1")
+        spatial = encode_many(self.lats, self.lons, spatial_precision)
+        temporal = bin_epochs(self.epochs, temporal_resolution)
+        return np.char.add(np.char.add(spatial, "@"), temporal)

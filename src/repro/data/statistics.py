@@ -1,0 +1,309 @@
+"""Mergeable summary statistics (the contents of a STASH Cell).
+
+Each attribute's summary is (count, sum, sum of squares, min, max); these
+form a commutative monoid under :meth:`AttributeSummary.merge`, which is
+what lets STASH:
+
+* compute a parent cell from its children without touching raw data
+  (roll-up, paper section V-B), and
+* answer any aggregation query (count/mean/min/max/std) from cached cells.
+
+Vectorized constructors aggregate whole observation batches with
+``np.bincount``-style grouped reductions rather than per-record loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.errors import StatisticsError
+
+
+class AttributeSummary(NamedTuple):
+    """Summary statistics of one attribute over one spatiotemporal bin.
+
+    A NamedTuple rather than a dataclass: immutable, and cheap enough to
+    construct that the grouped-aggregation hot path (four of these per
+    non-empty cell) stays object-bound rather than interpreter-bound.
+    """
+
+    count: int
+    total: float
+    total_sq: float
+    minimum: float
+    maximum: float
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def empty() -> "AttributeSummary":
+        """The monoid identity."""
+        return AttributeSummary(0, 0.0, 0.0, math.inf, -math.inf)
+
+    @staticmethod
+    def from_values(values: np.ndarray) -> "AttributeSummary":
+        """Summary of a 1-D array of raw values."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return AttributeSummary.empty()
+        return AttributeSummary(
+            count=int(values.size),
+            total=float(values.sum()),
+            total_sq=float(np.square(values).sum()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )
+
+    # -- monoid ------------------------------------------------------------
+
+    def merge(self, other: "AttributeSummary") -> "AttributeSummary":
+        """Combine two summaries of disjoint data (associative, commutative)."""
+        return AttributeSummary(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            total_sq=self.total_sq + other.total_sq,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    # -- derived statistics ---------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise StatisticsError("mean of empty summary")
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance, clamped at 0 against fp cancellation."""
+        if self.count == 0:
+            raise StatisticsError("variance of empty summary")
+        mean = self.mean
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def approx_equal(self, other: "AttributeSummary", rel: float = 1e-9) -> bool:
+        """Floating-point-tolerant equality (counts/extrema exact)."""
+        if self.count != other.count:
+            return False
+        if self.count == 0:
+            return other.count == 0
+        return (
+            math.isclose(self.total, other.total, rel_tol=rel, abs_tol=1e-9)
+            and math.isclose(self.total_sq, other.total_sq, rel_tol=rel, abs_tol=1e-9)
+            and self.minimum == other.minimum
+            and self.maximum == other.maximum
+        )
+
+
+class SummaryVector:
+    """Per-attribute summaries for one spatiotemporal bin.
+
+    A thin immutable mapping ``attribute name -> AttributeSummary`` with a
+    merge operation over matching attribute sets.  All attribute summaries
+    in one vector share the same observation count.
+    """
+
+    __slots__ = ("_summaries",)
+
+    def __init__(self, summaries: dict[str, AttributeSummary]):
+        if not summaries:
+            raise StatisticsError("SummaryVector needs at least one attribute")
+        counts = {s.count for s in summaries.values()}
+        if len(counts) != 1:
+            raise StatisticsError(
+                f"inconsistent counts across attributes: {sorted(counts)}"
+            )
+        self._summaries = dict(summaries)
+
+    @classmethod
+    def _trusted(cls, summaries: dict[str, AttributeSummary]) -> "SummaryVector":
+        """Validation-free constructor for hot aggregation paths.
+
+        Callers guarantee a non-empty dict with consistent counts (true
+        by construction in :func:`grouped_summaries`, which derives every
+        attribute's count from the same segment boundaries).
+        """
+        self = cls.__new__(cls)
+        self._summaries = summaries
+        return self
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def empty(attributes: list[str]) -> "SummaryVector":
+        return SummaryVector({a: AttributeSummary.empty() for a in attributes})
+
+    @staticmethod
+    def from_arrays(arrays: dict[str, np.ndarray]) -> "SummaryVector":
+        return SummaryVector(
+            {name: AttributeSummary.from_values(v) for name, v in arrays.items()}
+        )
+
+    # -- mapping API -----------------------------------------------------------
+
+    @property
+    def attributes(self) -> list[str]:
+        return sorted(self._summaries)
+
+    @property
+    def count(self) -> int:
+        """Observation count (shared by all attributes)."""
+        return next(iter(self._summaries.values())).count
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def __getitem__(self, attribute: str) -> AttributeSummary:
+        try:
+            return self._summaries[attribute]
+        except KeyError:
+            raise StatisticsError(f"unknown attribute {attribute!r}") from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._summaries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SummaryVector):
+            return NotImplemented
+        return self._summaries == other._summaries
+
+    def __repr__(self) -> str:
+        return f"SummaryVector(count={self.count}, attrs={self.attributes})"
+
+    # -- monoid ------------------------------------------------------------
+
+    def merge(self, other: "SummaryVector") -> "SummaryVector":
+        """Merge two vectors of disjoint data over the same attributes."""
+        if set(self._summaries) != set(other._summaries):
+            raise StatisticsError(
+                f"attribute mismatch: {self.attributes} vs {other.attributes}"
+            )
+        return SummaryVector(
+            {a: s.merge(other._summaries[a]) for a, s in self._summaries.items()}
+        )
+
+    @staticmethod
+    def merge_all(vectors: list["SummaryVector"]) -> "SummaryVector":
+        if not vectors:
+            raise StatisticsError("merge_all of no vectors")
+        out = vectors[0]
+        for vec in vectors[1:]:
+            out = out.merge(vec)
+        return out
+
+    def approx_equal(self, other: "SummaryVector", rel: float = 1e-9) -> bool:
+        if set(self._summaries) != set(other._summaries):
+            return False
+        return all(
+            s.approx_equal(other._summaries[a], rel=rel)
+            for a, s in self._summaries.items()
+        )
+
+    def project(self, attributes: list[str] | tuple[str, ...]) -> "SummaryVector":
+        """Restrict to a subset of attributes (client-requested slice).
+
+        Cells always cache *every* attribute so they stay reusable by any
+        later query; attribute selection is applied to responses only.
+        """
+        missing = [a for a in attributes if a not in self._summaries]
+        if missing:
+            raise StatisticsError(f"unknown attributes {missing}")
+        if not attributes:
+            raise StatisticsError("projection needs at least one attribute")
+        return SummaryVector({a: self._summaries[a] for a in attributes})
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_json_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-serializable form consumed by the front-end renderer."""
+        out: dict[str, dict[str, float]] = {}
+        for name, s in self._summaries.items():
+            if s.is_empty:
+                out[name] = {"count": 0}
+            else:
+                out[name] = {
+                    "count": s.count,
+                    "min": s.minimum,
+                    "max": s.maximum,
+                    "mean": s.mean,
+                    "std": s.std,
+                }
+        return out
+
+
+def grouped_summaries(
+    group_keys: np.ndarray, arrays: dict[str, np.ndarray]
+) -> dict[str, SummaryVector]:
+    """Group raw values by key and summarize each group, vectorized.
+
+    ``group_keys`` is an array of per-record bin labels (any dtype usable
+    with ``np.unique``); ``arrays`` maps attribute names to same-length
+    value arrays.  Returns ``{key: SummaryVector}`` for each distinct key.
+
+    This is the hot aggregation kernel: one sort (inside ``np.unique``)
+    plus ``np.add.reduceat``-style segment reductions per attribute — no
+    per-record Python loop.
+    """
+    group_keys = np.asarray(group_keys)
+    n = group_keys.size
+    for name, values in arrays.items():
+        if np.asarray(values).shape != (n,):
+            raise StatisticsError(
+                f"attribute {name!r} length mismatch with group keys"
+            )
+    if n == 0:
+        return {}
+    order = np.argsort(group_keys, kind="stable")
+    sorted_keys = group_keys[order]
+    # Segment boundaries: first index of each distinct key.
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.flatnonzero(boundary)
+    uniq = sorted_keys[starts]
+    counts = np.diff(np.append(starts, n))
+
+    per_attr: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+    for name, values in arrays.items():
+        v = np.asarray(values, dtype=np.float64)[order]
+        sums = np.add.reduceat(v, starts)
+        sq = np.add.reduceat(np.square(v), starts)
+        mins = np.minimum.reduceat(v, starts)
+        maxs = np.maximum.reduceat(v, starts)
+        per_attr[name] = (sums, sq, mins, maxs)
+
+    # Convert the per-attribute columns to Python lists once — per-element
+    # ndarray indexing in the loop below would dominate otherwise.
+    counts_list = counts.tolist()
+    columns = {
+        name: (vals[0].tolist(), vals[1].tolist(), vals[2].tolist(), vals[3].tolist())
+        for name, vals in per_attr.items()
+    }
+    labels = uniq.tolist()
+    out: dict[str, SummaryVector] = {}
+    for i, key in enumerate(labels):
+        summaries = {
+            name: AttributeSummary(
+                count=counts_list[i],
+                total=cols[0][i],
+                total_sq=cols[1][i],
+                minimum=cols[2][i],
+                maximum=cols[3][i],
+            )
+            for name, cols in columns.items()
+        }
+        out[key] = SummaryVector._trusted(summaries)
+    return out

@@ -1,0 +1,5 @@
+"""Zero-hop DHT partitioning (Galileo-style, paper section VI-C)."""
+
+from repro.dht.partitioner import ConsistentHashPartitioner, Partitioner, PrefixPartitioner
+
+__all__ = ["Partitioner", "PrefixPartitioner", "ConsistentHashPartitioner"]

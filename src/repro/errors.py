@@ -1,0 +1,55 @@
+"""Exception hierarchy for the STASH reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GeohashError(ReproError):
+    """Invalid geohash string, precision, or coordinate."""
+
+
+class TemporalError(ReproError):
+    """Invalid temporal key, resolution, or range."""
+
+
+class ResolutionError(ReproError):
+    """Invalid spatiotemporal resolution or level arithmetic."""
+
+
+class StatisticsError(ReproError):
+    """Invalid summary-statistics operation (e.g. merging mismatched attrs)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation misuse (e.g. resuming a finished process)."""
+
+
+class NetworkError(SimulationError):
+    """Message routed to an unknown node or malformed RPC."""
+
+
+class StorageError(ReproError):
+    """Backend storage errors: missing block, bad partition key."""
+
+
+class CacheError(ReproError):
+    """STASH graph misuse: duplicate cell insert, level mismatch."""
+
+
+class ReplicationError(ReproError):
+    """Clique handoff protocol errors."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""
+
+
+class QueryError(ReproError):
+    """Malformed spatiotemporal query."""

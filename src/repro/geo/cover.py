@@ -1,0 +1,95 @@
+"""Query footprint computation: bounding box -> covering geohash cells.
+
+The front-end's Query_Polygon is a lat/lon rectangle; evaluating it at a
+spatial resolution means touching every geohash cell of that precision
+that overlaps the rectangle (paper section IV-D).  This module computes
+that cover with integer grid arithmetic — no per-cell geometry tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeohashError
+from repro.geo.bbox import BoundingBox
+from repro.geo.geohash import _bit_counts, _check_precision, _from_indices_many
+
+
+def _index_ranges(
+    box: BoundingBox, precision: int
+) -> tuple[int, int, int, int]:
+    """Inclusive (lat_lo, lat_hi, lon_lo, lon_hi) grid index ranges."""
+    lon_bits, lat_bits = _bit_counts(precision)
+    n_lat, n_lon = 1 << lat_bits, 1 << lon_bits
+    lat_lo = int((box.south + 90.0) / 180.0 * n_lat)
+    lon_lo = int((box.west + 180.0) / 360.0 * n_lon)
+    # North/east edges are exclusive: a box ending exactly on a cell
+    # boundary does not include the next cell.
+    lat_hi = int(np.nextafter((box.north + 90.0) / 180.0 * n_lat, -np.inf))
+    lon_hi = int(np.nextafter((box.east + 180.0) / 360.0 * n_lon, -np.inf))
+    lat_lo = max(0, min(lat_lo, n_lat - 1))
+    lon_lo = max(0, min(lon_lo, n_lon - 1))
+    lat_hi = max(lat_lo, min(lat_hi, n_lat - 1))
+    lon_hi = max(lon_lo, min(lon_hi, n_lon - 1))
+    return lat_lo, lat_hi, lon_lo, lon_hi
+
+
+def covering_count(box: BoundingBox, precision: int) -> int:
+    """Number of cells in the cover, without materializing them."""
+    _check_precision(precision)
+    lat_lo, lat_hi, lon_lo, lon_hi = _index_ranges(box, precision)
+    return (lat_hi - lat_lo + 1) * (lon_hi - lon_lo + 1)
+
+
+def covering_cells(
+    box: BoundingBox, precision: int, max_cells: int | None = None
+) -> list[str]:
+    """All geohash cells at ``precision`` overlapping ``box``.
+
+    Cells are returned in row-major (south-to-north, west-to-east) order.
+    ``max_cells`` guards against accidentally materializing a continental
+    cover at a street-level precision.
+    """
+    _check_precision(precision)
+    lat_lo, lat_hi, lon_lo, lon_hi = _index_ranges(box, precision)
+    count = (lat_hi - lat_lo + 1) * (lon_hi - lon_lo + 1)
+    if max_cells is not None and count > max_cells:
+        raise GeohashError(
+            f"cover of {count} cells exceeds max_cells={max_cells}; "
+            "lower the precision or shrink the box"
+        )
+    lat_idx, lon_idx = np.meshgrid(
+        np.arange(lat_lo, lat_hi + 1, dtype=np.uint64),
+        np.arange(lon_lo, lon_hi + 1, dtype=np.uint64),
+        indexing="ij",
+    )
+    hashes = _from_indices_many(lat_idx.ravel(), lon_idx.ravel(), precision)
+    return hashes.tolist()
+
+
+def expand_ring(box: BoundingBox, precision: int) -> list[str]:
+    """The one-cell-wide ring of cells just outside ``box``'s cover.
+
+    This is the "immediate spatiotemporal neighborhood" that receives
+    dispersed freshness when a region is accessed (paper Fig. 3, grey
+    cells).
+    """
+    _check_precision(precision)
+    lon_bits, lat_bits = _bit_counts(precision)
+    n_lat, n_lon = 1 << lat_bits, 1 << lon_bits
+    lat_lo, lat_hi, lon_lo, lon_hi = _index_ranges(box, precision)
+    ring: list[tuple[int, int]] = []
+    for row in range(lat_lo - 1, lat_hi + 2):
+        if not 0 <= row < n_lat:
+            continue
+        if row in (lat_lo - 1, lat_hi + 1):
+            cols = range(lon_lo - 1, lon_hi + 2)
+        else:
+            cols = (lon_lo - 1, lon_hi + 1)
+        for col in cols:
+            ring.append((row, col % n_lon))
+    if not ring:
+        return []
+    rows = np.asarray([r for r, _ in ring], dtype=np.uint64)
+    cols = np.asarray([c for _, c in ring], dtype=np.uint64)
+    return _from_indices_many(rows, cols, precision).tolist()

@@ -1,0 +1,253 @@
+"""Geohash encoding/decoding and topology (paper sections IV-A, IV-B).
+
+Geohashes [Niemeyer 1999] are the spatial index of both Galileo and STASH:
+a base-32 string where each added character splits the cell 32 ways
+(8 x 4 or 4 x 8 alternating), so prefix truncation is spatial parentage.
+
+Hot paths (binning millions of observations) use the vectorized
+:func:`encode_many`; the scalar functions serve topology queries (neighbors,
+children, antipode) on individual cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeohashError
+from repro.geo.bbox import BoundingBox
+
+#: Canonical geohash base-32 alphabet (no a, i, l, o).
+GEOHASH_ALPHABET = "0123456789bcdefghjkmnpqrstuvwxyz"
+_CHAR_TO_VAL = {c: i for i, c in enumerate(GEOHASH_ALPHABET)}
+
+#: Maximum precision supported (60 bits fits comfortably in uint64).
+MAX_PRECISION = 12
+
+
+def _bit_counts(precision: int) -> tuple[int, int]:
+    """(lon_bits, lat_bits) for a geohash of the given length.
+
+    Geohash interleaves bits starting with longitude, so odd total bit
+    counts give longitude one extra bit.
+    """
+    total = 5 * precision
+    lon_bits = (total + 1) // 2
+    lat_bits = total // 2
+    return lon_bits, lat_bits
+
+
+def _check_precision(precision: int) -> None:
+    if not 1 <= precision <= MAX_PRECISION:
+        raise GeohashError(
+            f"precision must be in [1, {MAX_PRECISION}], got {precision}"
+        )
+
+
+def cell_dimensions(precision: int) -> tuple[float, float]:
+    """(height_degrees, width_degrees) of one cell at ``precision``."""
+    _check_precision(precision)
+    lon_bits, lat_bits = _bit_counts(precision)
+    return 180.0 / (1 << lat_bits), 360.0 / (1 << lon_bits)
+
+
+def encode(lat: float, lon: float, precision: int) -> str:
+    """Encode a point to a geohash string of the given length."""
+    _check_precision(precision)
+    if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+        raise GeohashError(f"coordinate out of range: ({lat}, {lon})")
+    lon_bits, lat_bits = _bit_counts(precision)
+    # Closed-open binning; clamp the exact top edge into the last cell.
+    lat_idx = min(int((lat + 90.0) / 180.0 * (1 << lat_bits)), (1 << lat_bits) - 1)
+    lon_idx = min(int((lon + 180.0) / 360.0 * (1 << lon_bits)), (1 << lon_bits) - 1)
+    return _from_indices(lat_idx, lon_idx, precision)
+
+
+def _from_indices(lat_idx: int, lon_idx: int, precision: int) -> str:
+    """Build the geohash string from integer lat/lon bin indices."""
+    lon_bits, lat_bits = _bit_counts(precision)
+    interleaved = 0
+    # Even bit positions (from MSB, position 0) come from longitude.
+    for i in range(lon_bits):
+        bit = (lon_idx >> (lon_bits - 1 - i)) & 1
+        interleaved |= bit << (5 * precision - 1 - 2 * i)
+    for i in range(lat_bits):
+        bit = (lat_idx >> (lat_bits - 1 - i)) & 1
+        interleaved |= bit << (5 * precision - 2 - 2 * i)
+    chars = []
+    for i in range(precision):
+        shift = 5 * (precision - 1 - i)
+        chars.append(GEOHASH_ALPHABET[(interleaved >> shift) & 0x1F])
+    return "".join(chars)
+
+
+def _to_indices(geohash: str) -> tuple[int, int]:
+    """(lat_idx, lon_idx) integer bin indices of a geohash cell."""
+    precision = len(geohash)
+    _check_precision(precision)
+    interleaved = 0
+    for ch in geohash:
+        try:
+            interleaved = (interleaved << 5) | _CHAR_TO_VAL[ch]
+        except KeyError:
+            raise GeohashError(f"invalid geohash character {ch!r} in {geohash!r}")
+    lon_bits, lat_bits = _bit_counts(precision)
+    lat_idx = lon_idx = 0
+    for i in range(lon_bits):
+        bit = (interleaved >> (5 * precision - 1 - 2 * i)) & 1
+        lon_idx = (lon_idx << 1) | bit
+    for i in range(lat_bits):
+        bit = (interleaved >> (5 * precision - 2 - 2 * i)) & 1
+        lat_idx = (lat_idx << 1) | bit
+    return lat_idx, lon_idx
+
+
+def decode(geohash: str) -> tuple[float, float]:
+    """Center (lat, lon) of the geohash cell."""
+    box = bbox(geohash)
+    return box.center
+
+
+def bbox(geohash: str) -> BoundingBox:
+    """Bounding box of the geohash cell."""
+    precision = len(geohash)
+    lat_idx, lon_idx = _to_indices(geohash)
+    height, width = cell_dimensions(precision)
+    south = -90.0 + lat_idx * height
+    west = -180.0 + lon_idx * width
+    # Guard the top edge against float rounding past the globe bounds.
+    return BoundingBox(
+        south=south,
+        north=min(90.0, south + height),
+        west=west,
+        east=min(180.0, west + width),
+    )
+
+
+def parent(geohash: str) -> str:
+    """One-character-shorter prefix (the spatial parent)."""
+    if len(geohash) <= 1:
+        raise GeohashError(f"geohash {geohash!r} has no parent")
+    return geohash[:-1]
+
+
+def children(geohash: str) -> list[str]:
+    """All 32 one-character extensions (the spatial children)."""
+    if len(geohash) >= MAX_PRECISION:
+        raise GeohashError(f"geohash {geohash!r} is at max precision")
+    return [geohash + c for c in GEOHASH_ALPHABET]
+
+
+def neighbors(geohash: str) -> list[str]:
+    """Up to 8 adjacent same-precision cells (paper Fig. 1a).
+
+    Longitude wraps around the antimeridian; rows beyond the poles are
+    omitted, so polar cells return fewer than 8 neighbors.
+    """
+    precision = len(geohash)
+    lat_idx, lon_idx = _to_indices(geohash)
+    lon_bits, lat_bits = _bit_counts(precision)
+    n_lat, n_lon = 1 << lat_bits, 1 << lon_bits
+    out: list[str] = []
+    for dlat in (1, 0, -1):
+        row = lat_idx + dlat
+        if not 0 <= row < n_lat:
+            continue
+        for dlon in (-1, 0, 1):
+            if dlat == 0 and dlon == 0:
+                continue
+            col = (lon_idx + dlon) % n_lon
+            out.append(_from_indices(row, col, precision))
+    return out
+
+
+def shift(geohash: str, dlat_cells: int, dlon_cells: int) -> str | None:
+    """Cell ``dlat_cells`` north and ``dlon_cells`` east, or None off-globe."""
+    precision = len(geohash)
+    lat_idx, lon_idx = _to_indices(geohash)
+    lon_bits, lat_bits = _bit_counts(precision)
+    row = lat_idx + dlat_cells
+    if not 0 <= row < (1 << lat_bits):
+        return None
+    col = (lon_idx + dlon_cells) % (1 << lon_bits)
+    return _from_indices(row, col, precision)
+
+
+def antipode(geohash: str) -> str:
+    """Geohash (same precision) of the diametrically opposite cell.
+
+    Used by the clique-handoff helper selection (paper section VII-B-3):
+    replicas of a hotspotted region are placed on the node owning the
+    region "on the diametrically opposite side of the globe".
+    """
+    lat, lon = decode(geohash)
+    anti_lat = -lat
+    anti_lon = lon + 180.0 if lon < 0 else lon - 180.0
+    return encode(anti_lat, anti_lon, len(geohash))
+
+
+def common_prefix(a: str, b: str) -> str:
+    """Longest shared prefix — the smallest cell containing both."""
+    n = 0
+    for ca, cb in zip(a, b):
+        if ca != cb:
+            break
+        n += 1
+    return a[:n]
+
+
+def encode_many(
+    lats: np.ndarray, lons: np.ndarray, precision: int
+) -> np.ndarray:
+    """Vectorized geohash encoding.
+
+    Returns an array of fixed-width unicode geohash strings.  This is the
+    hot path when binning observation batches into cells; everything is
+    integer bit arithmetic on uint64 arrays (no Python-level per-point
+    loop — the loops below are over *bit positions*, at most 60).
+    """
+    _check_precision(precision)
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    if lats.shape != lons.shape:
+        raise GeohashError("lats and lons must have identical shapes")
+    if lats.size and (
+        float(lats.min()) < -90.0
+        or float(lats.max()) > 90.0
+        or float(lons.min()) < -180.0
+        or float(lons.max()) > 180.0
+    ):
+        raise GeohashError("coordinates out of range in encode_many")
+    lon_bits, lat_bits = _bit_counts(precision)
+    lat_idx = np.minimum(
+        ((lats + 90.0) / 180.0 * (1 << lat_bits)).astype(np.uint64),
+        (1 << lat_bits) - 1,
+    )
+    lon_idx = np.minimum(
+        ((lons + 180.0) / 360.0 * (1 << lon_bits)).astype(np.uint64),
+        (1 << lon_bits) - 1,
+    )
+    return _from_indices_many(lat_idx, lon_idx, precision)
+
+
+def _from_indices_many(
+    lat_idx: np.ndarray, lon_idx: np.ndarray, precision: int
+) -> np.ndarray:
+    """Vectorized counterpart of :func:`_from_indices`."""
+    lon_bits, lat_bits = _bit_counts(precision)
+    total = 5 * precision
+    interleaved = np.zeros(lat_idx.shape, dtype=np.uint64)
+    for i in range(lon_bits):
+        bit = (lon_idx >> np.uint64(lon_bits - 1 - i)) & np.uint64(1)
+        interleaved |= bit << np.uint64(total - 1 - 2 * i)
+    for i in range(lat_bits):
+        bit = (lat_idx >> np.uint64(lat_bits - 1 - i)) & np.uint64(1)
+        interleaved |= bit << np.uint64(total - 2 - 2 * i)
+    # Slice the interleaved value into 5-bit base-32 symbols.
+    alphabet = np.frombuffer(GEOHASH_ALPHABET.encode("ascii"), dtype=np.uint8)
+    out_bytes = np.empty(lat_idx.shape + (precision,), dtype=np.uint8)
+    for i in range(precision):
+        shift_amt = np.uint64(5 * (precision - 1 - i))
+        out_bytes[..., i] = alphabet[
+            ((interleaved >> shift_amt) & np.uint64(0x1F)).astype(np.intp)
+        ]
+    return out_bytes.view(f"S{precision}").reshape(lat_idx.shape).astype(f"U{precision}")

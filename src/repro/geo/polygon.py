@@ -1,0 +1,143 @@
+"""Polygonal query regions.
+
+The paper's queries carry a ``Query_Polygon``; its experiments use
+rectangles, but a front-end lasso/shape tool produces real polygons.
+A :class:`Polygon` is a simple (non-self-intersecting) lat/lon polygon;
+containment uses vectorized ray casting.  Cell selection is by cell
+*center* — the natural semantics when the aggregation unit is a fixed
+grid cell: a cell belongs to the region that contains most of it, and
+center-containment is the standard unbiased approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeohashError
+from repro.geo.bbox import BoundingBox
+from repro.geo.cover import covering_cells
+from repro.geo.geohash import bbox as geohash_bbox
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple polygon in (lat, lon) degrees, implicitly closed."""
+
+    #: Vertices as (lat, lon) pairs, in order (either winding).
+    vertices: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise GeohashError("a polygon needs at least 3 vertices")
+        lats = [v[0] for v in self.vertices]
+        lons = [v[1] for v in self.vertices]
+        if not all(-90.0 <= lat <= 90.0 for lat in lats):
+            raise GeohashError("polygon latitude out of range")
+        if not all(-180.0 <= lon <= 180.0 for lon in lons):
+            raise GeohashError("polygon longitude out of range")
+        if max(lats) == min(lats) or max(lons) == min(lons):
+            raise GeohashError("degenerate polygon (zero spatial extent)")
+
+    @staticmethod
+    def of(*vertices: tuple[float, float]) -> "Polygon":
+        return Polygon(tuple(vertices))
+
+    @staticmethod
+    def from_bbox(box: BoundingBox) -> "Polygon":
+        return Polygon(
+            (
+                (box.south, box.west),
+                (box.south, box.east),
+                (box.north, box.east),
+                (box.north, box.west),
+            )
+        )
+
+    @property
+    def bbox(self) -> BoundingBox:
+        lats = [v[0] for v in self.vertices]
+        lons = [v[1] for v in self.vertices]
+        south, north = min(lats), max(lats)
+        west, east = min(lons), max(lons)
+        # Guard degenerate extents by widening a hair inside the globe.
+        eps = 1e-9
+        if north <= south:
+            north = min(90.0, south + eps)
+        if east <= west:
+            east = min(180.0, west + eps)
+        return BoundingBox(south, north, west, east)
+
+    # -- transforms ----------------------------------------------------------
+
+    def translated(self, dlat: float, dlon: float) -> "Polygon":
+        """Shifted copy; vertices are clamped to the globe."""
+        return Polygon(
+            tuple(
+                (
+                    min(90.0, max(-90.0, lat + dlat)),
+                    min(180.0, max(-180.0, lon + dlon)),
+                )
+                for lat, lon in self.vertices
+            )
+        )
+
+    def scaled(self, area_factor: float) -> "Polygon":
+        """Copy scaled about the bounding-box center (area semantics)."""
+        if area_factor <= 0:
+            raise GeohashError("scale factor must be positive")
+        lin = float(np.sqrt(area_factor))
+        clat, clon = self.bbox.center
+        return Polygon(
+            tuple(
+                (
+                    min(90.0, max(-90.0, clat + (lat - clat) * lin)),
+                    min(180.0, max(-180.0, clon + (lon - clon) * lin)),
+                )
+                for lat, lon in self.vertices
+            )
+        )
+
+    # -- containment ---------------------------------------------------------
+
+    def contains_points(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Vectorized ray casting: True where (lat, lon) is inside.
+
+        Points exactly on an edge may land either way (float arithmetic);
+        query semantics never depend on edge points because cell centers
+        are strictly interior to their cells.
+        """
+        lats = np.asarray(lats, dtype=np.float64)
+        lons = np.asarray(lons, dtype=np.float64)
+        inside = np.zeros(lats.shape, dtype=bool)
+        n = len(self.vertices)
+        for i in range(n):
+            lat1, lon1 = self.vertices[i]
+            lat2, lon2 = self.vertices[(i + 1) % n]
+            # Does the horizontal ray (in the +lon direction) cross this
+            # edge?  Cross iff the edge spans the point's latitude and the
+            # crossing longitude lies east of the point.
+            spans = (lat1 > lats) != (lat2 > lats)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                crossing_lon = lon1 + (lats - lat1) / (lat2 - lat1) * (lon2 - lon1)
+            inside ^= spans & (lons < crossing_lon)
+        return inside
+
+    def contains_point(self, lat: float, lon: float) -> bool:
+        return bool(self.contains_points(np.array([lat]), np.array([lon]))[0])
+
+
+def covering_cells_polygon(
+    polygon: Polygon, precision: int, max_cells: int | None = None
+) -> list[str]:
+    """Geohash cells (at ``precision``) whose centers lie in the polygon.
+
+    Row-major order, like :func:`~repro.geo.cover.covering_cells`.
+    """
+    candidates = covering_cells(polygon.bbox, precision, max_cells=max_cells)
+    if not candidates:
+        return []
+    centers = np.array([geohash_bbox(c).center for c in candidates])
+    mask = polygon.contains_points(centers[:, 0], centers[:, 1])
+    return [cell for cell, keep in zip(candidates, mask) if keep]

@@ -1,0 +1,152 @@
+"""Spatiotemporal resolutions and STASH level arithmetic (paper IV-C).
+
+A :class:`Resolution` pairs a geohash precision with a temporal
+resolution.  The STASH graph groups cells into *levels*; per the paper,
+the level for spatial resolution index ``n_i`` and temporal resolution
+index ``n_j`` is ``n_j * n_t + n_i`` where ``n_t`` is the number of
+temporal resolutions.  :class:`ResolutionSpace` fixes the supported
+spatial precision range and performs that arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResolutionError
+from repro.geo.geohash import MAX_PRECISION
+from repro.geo.temporal import NUM_TEMPORAL_RESOLUTIONS, TemporalResolution
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Resolution:
+    """A (spatial geohash precision, temporal resolution) pair."""
+
+    spatial: int
+    temporal: TemporalResolution
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.spatial <= MAX_PRECISION:
+            raise ResolutionError(f"spatial precision {self.spatial} out of range")
+
+    def __str__(self) -> str:
+        return f"s{self.spatial}/{self.temporal.name.lower()}"
+
+    # The three parent/child refinement axes (paper IV-B: "Each Cell can
+    # have 3 different parent precisions").
+
+    def coarser_spatial(self) -> "Resolution | None":
+        if self.spatial <= 1:
+            return None
+        return Resolution(self.spatial - 1, self.temporal)
+
+    def coarser_temporal(self) -> "Resolution | None":
+        coarser = self.temporal.coarser
+        if coarser is None:
+            return None
+        return Resolution(self.spatial, coarser)
+
+    def coarser_both(self) -> "Resolution | None":
+        if self.spatial <= 1 or self.temporal.coarser is None:
+            return None
+        return Resolution(self.spatial - 1, self.temporal.coarser)
+
+    def finer_spatial(self) -> "Resolution | None":
+        if self.spatial >= MAX_PRECISION:
+            return None
+        return Resolution(self.spatial + 1, self.temporal)
+
+    def finer_temporal(self) -> "Resolution | None":
+        finer = self.temporal.finer
+        if finer is None:
+            return None
+        return Resolution(self.spatial, finer)
+
+    def finer_both(self) -> "Resolution | None":
+        if self.spatial >= MAX_PRECISION or self.temporal.finer is None:
+            return None
+        return Resolution(self.spatial + 1, self.temporal.finer)
+
+    def parents(self) -> list["Resolution"]:
+        """All (up to 3) one-step-coarser resolutions."""
+        out = [self.coarser_spatial(), self.coarser_temporal(), self.coarser_both()]
+        return [r for r in out if r is not None]
+
+    def children_resolutions(self) -> list["Resolution"]:
+        """All (up to 3) one-step-finer resolutions."""
+        out = [self.finer_spatial(), self.finer_temporal(), self.finer_both()]
+        return [r for r in out if r is not None]
+
+
+@dataclass(frozen=True, slots=True)
+class ResolutionSpace:
+    """The set of resolutions a STASH deployment supports.
+
+    Parameters
+    ----------
+    min_spatial, max_spatial:
+        Inclusive geohash precision range (the paper's experiments span
+        precisions 2 through 6).
+    """
+
+    min_spatial: int = 1
+    max_spatial: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_spatial <= self.max_spatial <= MAX_PRECISION:
+            raise ResolutionError(
+                f"bad spatial range [{self.min_spatial}, {self.max_spatial}]"
+            )
+
+    @property
+    def num_spatial(self) -> int:
+        """The paper's ``n_s``."""
+        return self.max_spatial - self.min_spatial + 1
+
+    @property
+    def num_temporal(self) -> int:
+        """The paper's ``n_t``."""
+        return NUM_TEMPORAL_RESOLUTIONS
+
+    @property
+    def num_levels(self) -> int:
+        return self.num_spatial * self.num_temporal
+
+    def contains(self, resolution: Resolution) -> bool:
+        return self.min_spatial <= resolution.spatial <= self.max_spatial
+
+    def _check(self, resolution: Resolution) -> None:
+        if not self.contains(resolution):
+            raise ResolutionError(f"{resolution} outside space {self}")
+
+    def level_of(self, resolution: Resolution) -> int:
+        """STASH graph level: ``spatial_idx * n_t + temporal_idx``.
+
+        Level 0 is the coarsest resolution on both axes; larger levels are
+        finer.  Within the space, the mapping is a bijection.
+        """
+        self._check(resolution)
+        spatial_idx = resolution.spatial - self.min_spatial
+        return spatial_idx * self.num_temporal + int(resolution.temporal)
+
+    def resolution_at(self, level: int) -> Resolution:
+        """Inverse of :meth:`level_of`."""
+        if not 0 <= level < self.num_levels:
+            raise ResolutionError(f"level {level} out of [0, {self.num_levels})")
+        spatial_idx, temporal_idx = divmod(level, self.num_temporal)
+        return Resolution(
+            self.min_spatial + spatial_idx, TemporalResolution(temporal_idx)
+        )
+
+    def all_resolutions(self) -> list[Resolution]:
+        """Every supported resolution, in level order."""
+        return [self.resolution_at(level) for level in range(self.num_levels)]
+
+    def parents_within(self, resolution: Resolution) -> list[Resolution]:
+        """Parent resolutions that stay inside this space."""
+        self._check(resolution)
+        return [r for r in resolution.parents() if self.contains(r)]
+
+    def children_within(self, resolution: Resolution) -> list[Resolution]:
+        """Child resolutions that stay inside this space."""
+        self._check(resolution)
+        return [r for r in resolution.children_resolutions() if self.contains(r)]

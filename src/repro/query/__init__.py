@@ -1,0 +1,5 @@
+"""Spatiotemporal aggregation queries and their results."""
+
+from repro.query.model import AggregationQuery, QueryResult
+
+__all__ = ["AggregationQuery", "QueryResult"]

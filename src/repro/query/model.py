@@ -1,0 +1,207 @@
+"""Query and result types (paper section II-B).
+
+An :class:`AggregationQuery` is the backend form of the SQL shape the
+paper gives: aggregate every attribute over the records inside
+``Query_Polygon`` x ``Query_Time``, grouped by (spatial_resolution,
+temporal_resolution) bins.  The result is one
+:class:`~repro.data.statistics.SummaryVector` per non-empty bin — the
+"set of pixel-level aggregations" the front-end renders.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.keys import CellKey
+from repro.data.statistics import SummaryVector
+from repro.errors import QueryError
+from repro.geo.bbox import BoundingBox
+from repro.geo.cover import covering_cells, covering_count
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TimeRange
+
+_query_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class AggregationQuery:
+    """One visual-exploration query against the backend."""
+
+    bbox: BoundingBox
+    time_range: TimeRange
+    resolution: Resolution
+    #: Attributes to aggregate; None means every stored attribute.
+    attributes: tuple[str, ...] | None = None
+    #: Optional polygonal refinement of the area (the paper's
+    #: Query_Polygon); when set, the footprint keeps only the cells whose
+    #: centers fall inside it.  ``bbox`` must enclose the polygon — use
+    #: :meth:`for_polygon` to construct these consistently.
+    polygon: "object | None" = None
+    query_id: int = field(default_factory=lambda: next(_query_ids))
+
+    #: Safety valve against continental covers at street precision.
+    MAX_FOOTPRINT_CELLS = 2_000_000
+
+    @staticmethod
+    def for_polygon(
+        polygon,
+        time_range: TimeRange,
+        resolution: Resolution,
+        attributes: tuple[str, ...] | None = None,
+    ) -> "AggregationQuery":
+        """A query over an arbitrary simple polygon."""
+        return AggregationQuery(
+            bbox=polygon.bbox,
+            time_range=time_range,
+            resolution=resolution,
+            attributes=attributes,
+            polygon=polygon,
+        )
+
+    def footprint_size(self) -> int:
+        """Number of cells this query touches.
+
+        For rectangles this is pure arithmetic; a polygon requires
+        materializing its cover once.
+        """
+        temporal = len(self.time_range.covering_keys(self.resolution.temporal))
+        if self.polygon is None:
+            spatial = covering_count(self.bbox, self.resolution.spatial)
+        else:
+            spatial = len(self._spatial_cover())
+        return spatial * temporal
+
+    def _spatial_cover(self) -> list[str]:
+        if self.polygon is None:
+            return covering_cells(
+                self.bbox, self.resolution.spatial, max_cells=self.MAX_FOOTPRINT_CELLS
+            )
+        from repro.geo.polygon import covering_cells_polygon
+
+        return covering_cells_polygon(
+            self.polygon, self.resolution.spatial, max_cells=self.MAX_FOOTPRINT_CELLS
+        )
+
+    def footprint(self) -> list[CellKey]:
+        """Every cell key the query's extent covers at its resolution.
+
+        This is the unit of work for both the cache lookup and the raw
+        scan: the query answer is exactly the summaries of these cells
+        (empty ones omitted).
+        """
+        bounding_size = covering_count(self.bbox, self.resolution.spatial) * len(
+            self.time_range.covering_keys(self.resolution.temporal)
+        )
+        if bounding_size > self.MAX_FOOTPRINT_CELLS:
+            raise QueryError(
+                f"query footprint of {bounding_size} cells exceeds "
+                f"{self.MAX_FOOTPRINT_CELLS}; lower the resolution"
+            )
+        spatial = self._spatial_cover()
+        temporal = self.time_range.covering_keys(self.resolution.temporal)
+        return [
+            CellKey(geohash=s, time_key=t) for s in spatial for t in temporal
+        ]
+
+    def snapped_bbox(self) -> BoundingBox:
+        """The query box snapped outward to cell boundaries.
+
+        Cached cells are aggregates over *full* cell extents (that is what
+        makes them reusable across queries, paper section V-B), so query
+        semantics snap the requested rectangle to the covering cells'
+        union.
+        """
+        cells = covering_cells(
+            self.bbox, self.resolution.spatial, max_cells=self.MAX_FOOTPRINT_CELLS
+        )
+        from repro.geo.geohash import bbox as geohash_bbox
+
+        first, last = geohash_bbox(cells[0]), geohash_bbox(cells[-1])
+        return first.union_bounds(last)
+
+    def snapped_time_range(self) -> TimeRange:
+        """The query time range snapped outward to temporal bin boundaries."""
+        keys = self.time_range.covering_keys(self.resolution.temporal)
+        return TimeRange.from_keys(keys)
+
+    # -- navigation helpers (OLAP operators, paper section V-B) ------------
+
+    def panned(self, dlat: float, dlon: float) -> "AggregationQuery":
+        """The query after a pan gesture (polygon moves with the box)."""
+        return AggregationQuery(
+            bbox=self.bbox.translated(dlat, dlon),
+            time_range=self.time_range,
+            resolution=self.resolution,
+            attributes=self.attributes,
+            polygon=None if self.polygon is None else self.polygon.translated(dlat, dlon),
+        )
+
+    def diced(self, area_factor: float) -> "AggregationQuery":
+        """The query after shrinking/growing the selection area."""
+        return AggregationQuery(
+            bbox=self.bbox.scaled(area_factor),
+            time_range=self.time_range,
+            resolution=self.resolution,
+            attributes=self.attributes,
+            polygon=None if self.polygon is None else self.polygon.scaled(area_factor),
+        )
+
+    def at_resolution(self, resolution: Resolution) -> "AggregationQuery":
+        """The query after a drill-down/roll-up to another resolution."""
+        return AggregationQuery(
+            bbox=self.bbox,
+            time_range=self.time_range,
+            resolution=resolution,
+            attributes=self.attributes,
+            polygon=self.polygon,
+        )
+
+
+@dataclass
+class QueryResult:
+    """Backend answer: per-cell summaries plus evaluation provenance."""
+
+    query: AggregationQuery
+    cells: dict[CellKey, SummaryVector]
+    #: Simulated seconds the evaluation took end-to-end.
+    latency: float = 0.0
+    #: Provenance counters: cells_from_cache, cells_from_rollup,
+    #: cells_from_disk, disk_blocks_read, rerouted, ...
+    provenance: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[CellKey]:
+        return iter(self.cells)
+
+    @property
+    def total_count(self) -> int:
+        """Total observations aggregated across all result cells."""
+        return sum(vec.count for vec in self.cells.values())
+
+    def overall_summary(self) -> SummaryVector:
+        """All result cells merged into one summary (the map legend)."""
+        if not self.cells:
+            raise QueryError("result has no cells to merge")
+        return SummaryVector.merge_all(list(self.cells.values()))
+
+    def matches(self, other: "QueryResult", rel: float = 1e-9) -> bool:
+        """Value equality with fp tolerance (for correctness testing)."""
+        if set(self.cells) != set(other.cells):
+            return False
+        return all(
+            vec.approx_equal(other.cells[key], rel=rel)
+            for key, vec in self.cells.items()
+        )
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable body for the visualization front-end."""
+        return {
+            "query_id": self.query.query_id,
+            "resolution": str(self.query.resolution),
+            "latency": self.latency,
+            "cells": {str(key): vec.to_json_dict() for key, vec in self.cells.items()},
+        }

@@ -1,0 +1,13 @@
+"""Dynamic clique replication for hotspot autoscaling (paper section VII)."""
+
+from repro.replication.clique import Clique, top_cliques
+from repro.replication.antipode import antipode_candidates
+from repro.replication.routing import RouteEntry, RoutingTable
+
+__all__ = [
+    "Clique",
+    "top_cliques",
+    "antipode_candidates",
+    "RouteEntry",
+    "RoutingTable",
+]

@@ -1,0 +1,115 @@
+"""Clique identification: the unit of hotspot replication (paper VII-B-2).
+
+A Clique is "a subgraph of Cells from the STASH graph of a pre-configured
+size (depth)": a root cell plus its hierarchical descendants up to
+``depth`` levels down, identified by the spatiotemporal label of the
+topmost parent.  The hotspotted node replicates its top-K cliques by
+*cumulative freshness*, subject to a total cell budget N.
+
+Enumeration is bottom-up: every cached cell contributes its freshness to
+each of its ancestor roots within ``depth`` hierarchy steps (spatial
+and/or temporal), so the pass is O(cells x (depth+1)^2) regardless of
+graph size — the efficiency the paper credits to the hierarchical
+organization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.freshness import FreshnessTracker
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.errors import ReplicationError
+from repro.geo.temporal import TemporalResolution, TimeKey
+
+
+@dataclass
+class Clique:
+    """One candidate replication unit."""
+
+    root: CellKey
+    #: Member cell keys (root included when cached).
+    members: list[CellKey] = field(default_factory=list)
+    #: Sum of decayed freshness over members.
+    cumulative_freshness: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def _ancestor_roots(key: CellKey, depth: int) -> list[CellKey]:
+    """All keys that would contain ``key`` in a clique of the given depth.
+
+    Walk up 0..depth spatial steps and 0..depth temporal steps (combined
+    steps count once per axis, matching the paper's "children Cells and
+    their children Cells" along hierarchical edges).
+    """
+    out = []
+    geohash = key.geohash
+    for s_up in range(depth + 1):
+        if len(geohash) - s_up < 1:
+            break
+        spatial = geohash[: len(geohash) - s_up]
+        time_key: TimeKey | None = key.time_key
+        for t_up in range(depth + 1):
+            if time_key is None or s_up + t_up > depth:
+                break
+            out.append(CellKey(spatial, time_key))
+            if time_key.resolution == TemporalResolution.YEAR:
+                time_key = None
+            else:
+                time_key = time_key.parent()
+    return out
+
+
+def top_cliques(
+    graph: StashGraph,
+    tracker: FreshnessTracker,
+    now: float,
+    depth: int,
+    max_cells: int,
+    top_k: int,
+) -> list[Clique]:
+    """The top-K disjoint cliques whose total size fits the cell budget.
+
+    Greedy selection by cumulative freshness; a clique overlapping an
+    already selected one (shared members) is skipped so replicas never
+    duplicate cells within one handoff.
+    """
+    if depth < 0:
+        raise ReplicationError("clique depth must be >= 0")
+    if max_cells < 1 or top_k < 1:
+        raise ReplicationError("max_cells and top_k must be >= 1")
+
+    candidates: dict[CellKey, Clique] = {}
+    for cell in graph.cells():
+        score = tracker.score(cell, now)
+        if score <= 0.0:
+            continue
+        for root in _ancestor_roots(cell.key, depth):
+            clique = candidates.get(root)
+            if clique is None:
+                clique = candidates[root] = Clique(root=root)
+            clique.members.append(cell.key)
+            clique.cumulative_freshness += score
+
+    ranked = sorted(
+        candidates.values(),
+        key=lambda c: (-c.cumulative_freshness, str(c.root)),
+    )
+    chosen: list[Clique] = []
+    taken: set[CellKey] = set()
+    budget = max_cells
+    for clique in ranked:
+        if len(chosen) >= top_k:
+            break
+        if clique.size > budget:
+            continue
+        if any(member in taken for member in clique.members):
+            continue
+        chosen.append(clique)
+        taken.update(clique.members)
+        budget -= clique.size
+    return chosen

@@ -1,0 +1,95 @@
+"""Routing table of replicated cliques (paper sections VII-B-5, VII-C).
+
+The hotspotted node records, per successful handoff, the helper node and
+the exact cell set replicated (the paper's "bitmap of the actual Cells
+contained in the Clique").  A later query is reroutable to a helper iff
+that helper's live replicated cell set fully covers the query footprint;
+the reroute itself is probabilistic so the hotspotted node keeps serving
+a share of the traffic.  Entries expire after a TTL, "signifying the
+retreat of hotspot".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.keys import CellKey
+from repro.errors import ReplicationError
+
+
+@dataclass
+class RouteEntry:
+    """One replicated clique."""
+
+    root: CellKey
+    helper: str
+    cell_keys: frozenset[CellKey]
+    created_at: float
+
+
+class RoutingTable:
+    """Replica registry kept by a (previously) hotspotted node."""
+
+    def __init__(self, ttl: float, reroute_probability: float):
+        if ttl <= 0:
+            raise ReplicationError("routing ttl must be positive")
+        if not 0.0 <= reroute_probability <= 1.0:
+            raise ReplicationError("reroute probability must be in [0, 1]")
+        self.ttl = ttl
+        self.reroute_probability = reroute_probability
+        self._entries: list[RouteEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(
+        self,
+        root: CellKey,
+        helper: str,
+        cell_keys: frozenset[CellKey],
+        now: float,
+    ) -> None:
+        self._entries.append(
+            RouteEntry(root=root, helper=helper, cell_keys=cell_keys, created_at=now)
+        )
+
+    def purge(self, now: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        before = len(self._entries)
+        self._entries = [
+            e for e in self._entries if now - e.created_at <= self.ttl
+        ]
+        return before - len(self._entries)
+
+    def helpers_covering(
+        self, footprint: list[CellKey], now: float
+    ) -> list[str]:
+        """Helpers whose live replicated cells fully cover the footprint."""
+        self.purge(now)
+        if not footprint:
+            return []
+        needed = set(footprint)
+        by_helper: dict[str, set[CellKey]] = {}
+        for entry in self._entries:
+            by_helper.setdefault(entry.helper, set()).update(entry.cell_keys)
+        return sorted(
+            helper
+            for helper, cells in by_helper.items()
+            if needed.issubset(cells)
+        )
+
+    def choose_reroute(
+        self,
+        footprint: list[CellKey],
+        now: float,
+        rng: np.random.Generator,
+    ) -> str | None:
+        """Probabilistically pick a covering helper, or None to serve locally."""
+        helpers = self.helpers_covering(footprint, now)
+        if not helpers:
+            return None
+        if rng.random() >= self.reroute_probability:
+            return None
+        return helpers[int(rng.integers(0, len(helpers)))]

@@ -1,0 +1,47 @@
+"""Per-node disk model: seek + streaming throughput with channel contention.
+
+Reads of storage blocks are the dominant cost the STASH cache removes
+(paper RQ-1); each node owns one :class:`Disk` whose read time is
+``seek + bytes * data_scale / bandwidth``, serialized over a bounded
+number of channels so concurrent cold queries contend realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.config import CostModel
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource
+
+
+class Disk:
+    """One node's disk."""
+
+    def __init__(
+        self, sim: Simulator, cost: CostModel, node_id: str, channels: int = 2
+    ):
+        self.sim = sim
+        self.cost = cost
+        self.node_id = node_id
+        self._channel = Resource(sim, channels, name=f"disk:{node_id}")
+        #: Totals for reporting.
+        self.reads = 0
+        self.bytes_read = 0
+
+    def read(self, nbytes: int) -> "Event":
+        """Process-event that completes when the read finishes."""
+        return self.sim.process(self._read(nbytes))
+
+    def _read(self, nbytes: int) -> Generator[Event, Any, int]:
+        yield self._channel.acquire()
+        try:
+            self.reads += 1
+            self.bytes_read += nbytes
+            yield self.sim.timeout(self.cost.disk_read_time(nbytes))
+        finally:
+            self._channel.release()
+        return nbytes
+
+    def utilization(self) -> float:
+        return self._channel.utilization()

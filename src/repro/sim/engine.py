@@ -1,0 +1,288 @@
+"""Discrete-event simulation core (SimPy-style, dependency-free).
+
+A :class:`Simulator` owns a time-ordered event heap.  User code is written
+as generator *processes* that ``yield`` :class:`Event` objects; the
+simulator resumes each process when the yielded event fires, delivering
+the event's value as the result of the ``yield`` expression (or raising
+the event's exception).
+
+Determinism: ties in fire time are broken by a monotonically increasing
+sequence number, so a given program produces one canonical execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+#: Sentinel for "event has not produced a value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Life cycle: *pending* -> *triggered* (``succeed``/``fail`` called,
+    scheduled on the heap) -> *processed* (callbacks ran).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._exception: BaseException | None = None
+        self._triggered = False
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed/fail has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has no value yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful; it fires at the current sim time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiters see the exception raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = None
+        self._exception = exception
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator coroutine; is itself an event (fires on return).
+
+    The wrapped generator yields :class:`Event` objects.  When a yielded
+    event fires successfully, the generator resumes with its value; when
+    it fires with a failure, the exception is thrown into the generator.
+    The process event succeeds with the generator's return value.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any]):
+        super().__init__(sim)
+        self._generator = generator
+        # Kick off at the current simulated time.
+        init = Event(sim)
+        init._triggered = True
+        init._value = None
+        init.add_callback(self._resume)
+        sim._schedule(init, delay=0.0)
+
+    def _resume(self, fired: Event) -> None:
+        if self._triggered:
+            raise SimulationError("resuming a finished process")
+        try:
+            if fired._exception is not None:
+                target = self._generator.throw(fired._exception)
+            else:
+                target = self._generator.send(fired._value)
+        except StopIteration as stop:
+            self._triggered = True
+            self._value = stop.value
+            self.sim._schedule(self, delay=0.0)
+            return
+        except BaseException as exc:  # generator raised: propagate via event
+            self._triggered = True
+            self._exception = exc
+            self._value = None
+            self.sim._schedule(self, delay=0.0)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("process yielded an event from another simulator")
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_pending", "_results", "_failed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._results: list[Any] = [None] * len(events)
+        self._pending = len(events)
+        self._failed = False
+        if not events:
+            self.succeed([])
+            return
+        for i, event in enumerate(events):
+            event.add_callback(lambda ev, i=i: self._on_child(i, ev))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._failed or self._triggered:
+            return
+        if event._exception is not None:
+            self._failed = True
+            self.fail(event._exception)
+            return
+        self._results[index] = event._value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(list(self._results))
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is (index, value)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for i, event in enumerate(events):
+            event.add_callback(lambda ev, i=i: self._on_child(i, ev))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed((index, event._value))
+
+
+class Simulator:
+    """The event loop: a heap of (time, sequence, event)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    # -- factory helpers ------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one scheduled event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _seq, event = heapq.heappop(self._heap)
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        if event._exception is not None and not callbacks:
+            # A failure nobody waits on would otherwise vanish silently.
+            raise event._exception
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the schedule drains, a deadline, or an event fires.
+
+        With an :class:`Event` as ``until``, returns that event's value.
+        With a float, stops as soon as the clock would pass it.  Unhandled
+        process failures surface here as raised exceptions.
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran dry before the awaited event fired"
+                    )
+                self.step()
+            return sentinel.value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self.now:
+            raise SimulationError("run(until) deadline is in the past")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self.now = deadline
+        return None

@@ -1,0 +1,126 @@
+"""Measurement collectors for simulated experiments.
+
+These aggregate the quantities the paper's figures plot: per-query
+latency distributions (Figs 6a, 7, 8), sustained throughput (Fig 6b),
+and responses-per-second timelines (Fig 6d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class LatencyCollector:
+    """Accumulates per-query latencies (simulated seconds)."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._values: list[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative latency {latency}")
+        self._values.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def mean(self) -> float:
+        if not self._values:
+            raise SimulationError("no latencies recorded")
+        return float(np.mean(self._values))
+
+    def percentile(self, q: float) -> float:
+        if not self._values:
+            raise SimulationError("no latencies recorded")
+        return float(np.percentile(self._values, q))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(len(self)),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.percentile(100),
+        }
+
+
+class ThroughputTimeline:
+    """Records request completion times; derives rate series & totals."""
+
+    def __init__(self, name: str = "throughput"):
+        self.name = name
+        self._completions: list[float] = []
+
+    def record_completion(self, at_time: float) -> None:
+        self._completions.append(at_time)
+
+    def __len__(self) -> int:
+        return len(self._completions)
+
+    @property
+    def completions(self) -> np.ndarray:
+        return np.sort(np.asarray(self._completions, dtype=np.float64))
+
+    def total_duration(self) -> float:
+        """Time of the last completion (the paper's throughput basis)."""
+        if not self._completions:
+            raise SimulationError("no completions recorded")
+        return float(max(self._completions))
+
+    def overall_rate(self) -> float:
+        """Requests per simulated second over the whole run."""
+        duration = self.total_duration()
+        if duration <= 0:
+            raise SimulationError("cannot compute rate over zero duration")
+        return len(self._completions) / duration
+
+    def per_second_series(self, bin_width: float = 1.0) -> np.ndarray:
+        """Responses per ``bin_width`` seconds from t=0 (paper Fig. 6d)."""
+        if bin_width <= 0:
+            raise SimulationError("bin_width must be positive")
+        done = self.completions
+        if done.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        nbins = int(np.floor(done[-1] / bin_width)) + 1
+        idx = np.minimum((done / bin_width).astype(np.int64), nbins - 1)
+        return np.bincount(idx, minlength=nbins)
+
+    def cumulative_series(self, bin_width: float = 1.0) -> np.ndarray:
+        """Cumulative completions per time bin."""
+        return np.cumsum(self.per_second_series(bin_width))
+
+
+@dataclass
+class CounterSet:
+    """Named monotonically increasing counters (cache hits, disk reads...)."""
+
+    counts: dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.counts is None:
+            self.counts = {}
+
+    def increment(self, name: str, by: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        denom = self.get(denominator)
+        if denom == 0:
+            raise SimulationError(f"counter {denominator!r} is zero")
+        return self.get(numerator) / denom

@@ -1,0 +1,144 @@
+"""Simulated cluster network: point-to-point messages and RPC.
+
+Every registered node owns an inbox :class:`~repro.sim.resources.Store`.
+``send`` delivers a message after latency + size/bandwidth; ``request``
+layers a reply event on top so server code can ``respond`` and the caller
+sees a round trip with both directions paying network cost.
+
+Message payloads are passed by reference (the simulation runs in one
+address space); the *cost* of the transfer is what the byte size models.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import CostModel
+from repro.errors import NetworkError
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Store
+
+
+@dataclass
+class Message:
+    """One network message."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    size: int = 0
+    msg_id: int = field(default=-1)
+    #: Reply event (present on RPC requests only).
+    reply_to: "Event | None" = field(default=None, repr=False)
+    #: Simulated enqueue time at the recipient.
+    delivered_at: float = field(default=-1.0)
+
+
+class Network:
+    """The cluster fabric: registry of node inboxes + cost accounting."""
+
+    def __init__(self, sim: Simulator, cost: CostModel):
+        self.sim = sim
+        self.cost = cost
+        self._inboxes: dict[str, Store] = {}
+        self._ids = itertools.count()
+        #: Totals for reporting.
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, node_id: str) -> Store:
+        """Create (or return) the inbox for a node."""
+        if node_id not in self._inboxes:
+            self._inboxes[node_id] = Store(self.sim, name=f"inbox:{node_id}")
+        return self._inboxes[node_id]
+
+    def inbox(self, node_id: str) -> Store:
+        try:
+            return self._inboxes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    @property
+    def node_ids(self) -> list[str]:
+        return sorted(self._inboxes)
+
+    def queue_depth(self, node_id: str) -> int:
+        """Pending messages at a node — the hotspot-detection signal."""
+        return len(self.inbox(node_id))
+
+    # -- transport ---------------------------------------------------------
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size: int = 0,
+        reply_to: Event | None = None,
+    ) -> Message:
+        """Fire-and-forget delivery after the link cost elapses."""
+        inbox = self.inbox(recipient)
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size=size,
+            msg_id=next(self._ids),
+            reply_to=reply_to,
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size
+        delay = 0.0 if sender == recipient else self.cost.network_time(size)
+
+        def deliver(_event: Event) -> None:
+            message.delivered_at = self.sim.now
+            inbox.put(message)
+
+        self.sim.timeout(delay).add_callback(deliver)
+        return message
+
+    def request(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size: int = 0,
+    ) -> Event:
+        """RPC: send a message carrying a reply event; returns that event."""
+        reply = Event(self.sim)
+        self.send(sender, recipient, kind, payload, size=size, reply_to=reply)
+        return reply
+
+    def respond(self, message: Message, value: Any, size: int = 0) -> None:
+        """Server-side completion of an RPC; reply pays the return link."""
+        if message.reply_to is None:
+            raise NetworkError(f"message {message.msg_id} expects no reply")
+        reply_event = message.reply_to
+        self.messages_sent += 1
+        self.bytes_sent += size
+        delay = (
+            0.0
+            if message.sender == message.recipient
+            else self.cost.network_time(size)
+        )
+        self.sim.timeout(delay).add_callback(lambda _ev: reply_event.succeed(value))
+
+    def respond_error(self, message: Message, exception: BaseException) -> None:
+        """Fail the caller's reply event after the return-link latency."""
+        if message.reply_to is None:
+            raise NetworkError(f"message {message.msg_id} expects no reply")
+        reply_event = message.reply_to
+        delay = (
+            0.0
+            if message.sender == message.recipient
+            else self.cost.network_time(0)
+        )
+        self.sim.timeout(delay).add_callback(lambda _ev: reply_event.fail(exception))

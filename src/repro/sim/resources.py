@@ -1,0 +1,119 @@
+"""Simulated shared resources: FIFO stores and counting semaphores.
+
+:class:`Store` is the request queue of every simulated node — its length
+is exactly the "pending requests in its message queue" that triggers
+hotspot detection (paper section VII-B-1).  :class:`Resource` models
+bounded hardware (disk channels, worker slots).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+
+class Store:
+    """An unbounded FIFO queue with event-based ``get``.
+
+    ``put`` is immediate (the queue is unbounded); ``get`` returns an
+    event that fires as soon as an item is available, preserving FIFO
+    order among waiters.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._waiters: deque[Event] = deque()
+        #: Total number of items ever put (monitoring).
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        """Number of queued (unclaimed) items — the pending-queue depth."""
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._waiters:
+            self._waiters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._waiters)
+
+
+class Resource:
+    """A counting semaphore with FIFO waiters.
+
+    Use via processes::
+
+        yield resource.acquire()
+        try:
+            yield sim.timeout(work)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        #: Cumulative (time-weighted) busy integral for utilization stats.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self) -> Event:
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        self._account()
+        if self._waiters:
+            # Hand the slot directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity busy since construction."""
+        self._account()
+        elapsed = self.sim.now if self.sim.now > 0 else 1.0
+        return self._busy_integral / (self.capacity * elapsed)

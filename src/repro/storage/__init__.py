@@ -1,0 +1,12 @@
+"""Galileo-like distributed block storage and raw-scan aggregation.
+
+The paper's back-end (section VI-C): a zero-hop-DHT storage system
+partitioning observations into geohash-prefixed blocks, with distributed
+scan + aggregate evaluation.  STASH sits on top of this layer and caches
+its outputs.
+"""
+
+from repro.storage.backend import StorageCatalog, scan_blocks, ground_truth_cells
+from repro.storage.node import StorageNode
+
+__all__ = ["StorageCatalog", "scan_blocks", "ground_truth_cells", "StorageNode"]

@@ -1,0 +1,278 @@
+"""Storage catalog and the raw-scan aggregation kernel.
+
+:class:`StorageCatalog` is the cluster's on-disk state: every block,
+placed on its owning node by the DHT partitioner.  :func:`scan_blocks`
+is the Galileo-side aggregation kernel — the expensive code path STASH
+exists to avoid — and :func:`ground_truth_cells` is the single-threaded
+oracle used throughout the test suite for result verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.keys import CellKey
+from repro.data.block import Block, BlockId, partition_into_blocks
+from repro.data.observation import ObservationBatch
+from repro.data.statistics import SummaryVector, grouped_summaries
+from repro.dht.partitioner import Partitioner
+from repro.errors import StorageError
+from repro.query.model import AggregationQuery
+
+
+@dataclass(frozen=True)
+class ScanStats:
+    """Cost drivers of one scan: what the simulation charges time for."""
+
+    blocks_read: int
+    bytes_read: int
+    records_scanned: int
+
+
+class StorageCatalog:
+    """All blocks in the cluster, placed by the partitioner.
+
+    Blocks are (geohash, day) files at ``block_precision``; ownership is
+    decided by the coarser DHT partition prefix of the block's geohash
+    (Galileo's "many block files per node partition" layout).
+    """
+
+    def __init__(self, partitioner: Partitioner, block_precision: int | None = None):
+        self.partitioner = partitioner
+        if block_precision is None:
+            block_precision = partitioner.partition_precision
+        if block_precision < partitioner.partition_precision:
+            raise StorageError(
+                "block_precision must be >= the DHT partition precision"
+            )
+        self.block_precision = block_precision
+        #: node id -> {block id -> block}
+        self._by_node: dict[str, dict[BlockId, Block]] = {
+            node: {} for node in partitioner.node_ids
+        }
+        self._block_index: dict[BlockId, str] = {}
+        #: day -> sorted list of block geohashes (prefix range queries).
+        self._day_index: dict[str, list[str]] = {}
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, batch: ObservationBatch) -> list[BlockId]:
+        """Partition a batch into blocks and place them.
+
+        Re-ingesting data for an existing (geohash, day) block merges the
+        batches (streaming append).  Returns the ids of every block
+        created *or modified* — the set a caching layer must invalidate
+        (paper IV-D: the PLM tracks up-to-date cells across updates).
+        """
+        import bisect
+
+        blocks = partition_into_blocks(batch, self.block_precision)
+        touched: list[BlockId] = []
+        for block_id, block in blocks.items():
+            node = self.partitioner.node_for(block_id.geohash)
+            existing = self._by_node[node].get(block_id)
+            if existing is not None:
+                block = Block(
+                    block_id=block_id, batch=existing.batch.concat(block.batch)
+                )
+            else:
+                day_list = self._day_index.setdefault(block_id.day, [])
+                bisect.insort(day_list, block_id.geohash)
+            self._by_node[node][block_id] = block
+            self._block_index[block_id] = node
+            touched.append(block_id)
+        return sorted(touched)
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._block_index)
+
+    @property
+    def total_records(self) -> int:
+        return sum(
+            len(b) for blocks in self._by_node.values() for b in blocks.values()
+        )
+
+    def node_of(self, block_id: BlockId) -> str:
+        try:
+            return self._block_index[block_id]
+        except KeyError:
+            raise StorageError(f"unknown block {block_id}") from None
+
+    def blocks_on(self, node_id: str) -> dict[BlockId, Block]:
+        try:
+            return self._by_node[node_id]
+        except KeyError:
+            raise StorageError(f"unknown node {node_id!r}") from None
+
+    def get_block(self, block_id: BlockId) -> Block | None:
+        node = self._block_index.get(block_id)
+        return None if node is None else self._by_node[node][block_id]
+
+    def blocks_for_query(self, query: AggregationQuery) -> list[BlockId]:
+        """Existing blocks whose extent overlaps the (snapped) query."""
+        from repro.geo.cover import covering_cells
+        from repro.geo.temporal import TemporalResolution
+
+        prefixes = set(
+            covering_cells(query.snapped_bbox(), self.block_precision)
+        )
+        out: list[BlockId] = []
+        for key in query.snapped_time_range().covering_keys(TemporalResolution.DAY):
+            day = str(key)
+            for geohash in self._day_index.get(day, ()):
+                if geohash in prefixes:
+                    out.append(BlockId(geohash=geohash, day=day))
+        return sorted(out)
+
+    def blocks_for_cell(self, key) -> list[BlockId]:
+        """Existing blocks backing one cell (the PLM's block set).
+
+        A cell finer than the block precision lives in exactly one block
+        per covered day; a coarser cell spans every existing block whose
+        geohash extends the cell's (found via a prefix range scan on the
+        per-day index).
+        """
+        import bisect
+
+        from repro.geo.temporal import TemporalResolution
+
+        time_key = key.time_key
+        if time_key.resolution in (TemporalResolution.DAY, TemporalResolution.HOUR):
+            days = [
+                time_key
+                if time_key.resolution == TemporalResolution.DAY
+                else time_key.parent()
+            ]
+        elif time_key.resolution == TemporalResolution.MONTH:
+            days = time_key.children()
+        else:  # YEAR
+            days = [day for month in time_key.children() for day in month.children()]
+
+        out: list[BlockId] = []
+        geohash = key.geohash
+        for day_key in days:
+            day = str(day_key)
+            day_list = self._day_index.get(day)
+            if not day_list:
+                continue
+            if len(geohash) >= self.block_precision:
+                prefix = geohash[: self.block_precision]
+                index = bisect.bisect_left(day_list, prefix)
+                if index < len(day_list) and day_list[index] == prefix:
+                    out.append(BlockId(geohash=prefix, day=day))
+            else:
+                start = bisect.bisect_left(day_list, geohash)
+                for candidate in day_list[start:]:
+                    if not candidate.startswith(geohash):
+                        break
+                    out.append(BlockId(geohash=candidate, day=day))
+        return out
+
+    def blocks_by_node(self, block_ids: list[BlockId]) -> dict[str, list[BlockId]]:
+        """Group block ids by owning node (the scatter plan)."""
+        plan: dict[str, list[BlockId]] = {}
+        for block_id in block_ids:
+            plan.setdefault(self.node_of(block_id), []).append(block_id)
+        return plan
+
+    def rebalance(self, partitioner: Partitioner) -> tuple[int, int]:
+        """Re-place every block under a new partitioner (elastic resize).
+
+        Used when nodes join or leave: blocks whose owner changes are
+        moved; the rest stay put.  With a
+        :class:`~repro.dht.partitioner.ConsistentHashPartitioner` only
+        the departed/arrived nodes' keys move — the property its tests
+        verify.  Returns (blocks moved, blocks total).  Any caching layer
+        above must be rebuilt or invalidated by the caller; ownership of
+        *cells* follows the same partitioner.
+        """
+        if partitioner.partition_precision != self.partitioner.partition_precision:
+            raise StorageError("rebalance cannot change the partition precision")
+        moved = 0
+        new_by_node: dict[str, dict[BlockId, Block]] = {
+            node: {} for node in partitioner.node_ids
+        }
+        for block_id, old_node in list(self._block_index.items()):
+            block = self._by_node[old_node][block_id]
+            new_node = partitioner.node_for(block_id.geohash)
+            if new_node != old_node:
+                moved += 1
+            new_by_node[new_node][block_id] = block
+            self._block_index[block_id] = new_node
+        self._by_node = new_by_node
+        self.partitioner = partitioner
+        return moved, len(self._block_index)
+
+
+def scan_blocks(
+    blocks: list[Block], query: AggregationQuery
+) -> tuple[dict[CellKey, SummaryVector], ScanStats]:
+    """Aggregate raw blocks into query-resolution cells (full cell extents).
+
+    Every block is read in full (you cannot seek inside a block), records
+    are filtered to the query's *snapped* extent, then binned and
+    summarized with one vectorized grouped pass per block.
+    """
+    snapped_box = query.snapped_bbox()
+    snapped_time = query.snapped_time_range()
+    wanted = (
+        None if query.attributes is None else set(query.attributes)
+    )
+
+    out: dict[CellKey, SummaryVector] = {}
+    bytes_read = 0
+    records = 0
+    for block in blocks:
+        bytes_read += block.nbytes
+        records += len(block)
+        batch = block.batch.filter_bbox(snapped_box).filter_time(snapped_time)
+        if len(batch) == 0:
+            continue
+        keys = batch.bin_keys(query.resolution.spatial, query.resolution.temporal)
+        arrays = {
+            name: values
+            for name, values in batch.attributes.items()
+            if wanted is None or name in wanted
+        }
+        for label, vector in grouped_summaries(keys, arrays).items():
+            cell_key = CellKey.parse(str(label))
+            existing = out.get(cell_key)
+            out[cell_key] = vector if existing is None else existing.merge(vector)
+    stats = ScanStats(
+        blocks_read=len(blocks), bytes_read=bytes_read, records_scanned=records
+    )
+    return out, stats
+
+
+def ground_truth_cells(
+    batch: ObservationBatch, query: AggregationQuery
+) -> dict[CellKey, SummaryVector]:
+    """Oracle: aggregate a raw dataset directly (no blocks, no cluster).
+
+    Used by tests to verify that every system variant — basic scan,
+    cold STASH, hot STASH, rolled-up STASH, replicated STASH, the
+    ElasticSearch baseline — produces identical answers.
+    """
+    sub = batch.filter_bbox(query.snapped_bbox()).filter_time(
+        query.snapped_time_range()
+    )
+    if len(sub) == 0:
+        return {}
+    keys = sub.bin_keys(query.resolution.spatial, query.resolution.temporal)
+    wanted = None if query.attributes is None else set(query.attributes)
+    arrays = {
+        name: values
+        for name, values in sub.attributes.items()
+        if wanted is None or name in wanted
+    }
+    out = {
+        CellKey.parse(str(label)): vector
+        for label, vector in grouped_summaries(keys, arrays).items()
+    }
+    if query.polygon is not None:
+        footprint = set(query.footprint())
+        out = {key: vec for key, vec in out.items() if key in footprint}
+    return out

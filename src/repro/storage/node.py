@@ -1,0 +1,162 @@
+"""Storage node server process.
+
+Each node runs a bounded pool of worker processes draining its network
+inbox; the inbox depth is the "pending requests" signal used for hotspot
+detection (paper section VII-B-1).  The base node serves ``scan``
+requests — read blocks from the simulated disk, aggregate, reply; the
+STASH node subclasses this with cache-aware handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.config import StashConfig
+from repro.core.keys import CellKey
+from repro.data.block import Block, BlockId
+from repro.data.statistics import SummaryVector
+from repro.errors import StorageError
+from repro.query.model import AggregationQuery
+from repro.sim.disk import Disk
+from repro.sim.engine import Event, Simulator
+from repro.sim.metrics import CounterSet
+from repro.sim.network import Message, Network
+from repro.sim.resources import Store
+from repro.storage.backend import StorageCatalog, scan_blocks
+
+#: Handler signature: generator process consuming a message.
+Handler = Callable[[Message], Generator[Event, Any, None]]
+
+#: Message kinds handled by the coordinator pool.  Everything else goes to
+#: the service pool.  Keeping the pools separate prevents distributed
+#: deadlock: a coordinator blocked on remote scans can never starve the
+#: workers that serve those scans.
+COORDINATOR_KINDS = frozenset({"evaluate", "evaluate_guest", "evaluate_cells"})
+
+
+class StorageNode:
+    """One simulated storage server with coordinator + service worker pools."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        catalog: StorageCatalog,
+        node_id: str,
+        config: StashConfig,
+    ):
+        self.sim = sim
+        self.network = network
+        self.catalog = catalog
+        self.node_id = node_id
+        self.config = config
+        self.cost = config.cost
+        self.inbox = network.register(node_id)
+        self.disk = Disk(sim, self.cost, node_id)
+        self.counters = CounterSet()
+        self._coord_queue = Store(sim, name=f"coord:{node_id}")
+        self._service_queue = Store(sim, name=f"service:{node_id}")
+        self._handlers: dict[str, Handler] = {"scan": self._handle_scan}
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatcher and worker pools; idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._dispatcher())
+        for _ in range(self.config.cluster.workers_per_node):
+            self.sim.process(self._worker(self._coord_queue))
+            self.sim.process(self._worker(self._service_queue))
+
+    def _dispatcher(self) -> Generator[Event, Any, None]:
+        while True:
+            message = yield self.inbox.get()
+            self.on_message_arrival(message)
+            if message.kind in COORDINATOR_KINDS:
+                self._coord_queue.put(message)
+            else:
+                self._service_queue.put(message)
+
+    def on_message_arrival(self, message: Message) -> None:
+        """Hook invoked as each message is dequeued from the network inbox.
+
+        The STASH node overrides this to run hotspot detection.
+        """
+
+    def _worker(self, queue: Store) -> Generator[Event, Any, None]:
+        while True:
+            message = yield queue.get()
+            yield self.sim.process(self._dispatch(message))
+
+    def _dispatch(self, message: Message) -> Generator[Event, Any, None]:
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            error = StorageError(
+                f"node {self.node_id} has no handler for {message.kind!r}"
+            )
+            if message.reply_to is not None:
+                self.network.respond_error(message, error)
+                return
+            raise error
+        self.counters.increment(f"handled:{message.kind}")
+        try:
+            yield self.sim.process(handler(message))
+        except Exception as exc:
+            # A failing request must not kill the worker: surface the
+            # error to the caller when a reply is expected, otherwise
+            # re-raise so the simulation fails loudly.
+            self.counters.increment(f"errors:{message.kind}")
+            if message.reply_to is not None and not message.reply_to.triggered:
+                self.network.respond_error(message, exc)
+            else:
+                raise
+
+    def register_handler(self, kind: str, handler: Handler) -> None:
+        self._handlers[kind] = handler
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending_requests(self) -> int:
+        """Undispatched + queued coordinator requests — the hotspot signal."""
+        return len(self.inbox) + len(self._coord_queue)
+
+    # -- scan service ------------------------------------------------------
+
+    def local_blocks(self, block_ids: list[BlockId]) -> list[Block]:
+        """Resolve block ids against this node's local disk."""
+        local = self.catalog.blocks_on(self.node_id)
+        out = []
+        for block_id in block_ids:
+            block = local.get(block_id)
+            if block is None:
+                raise StorageError(
+                    f"block {block_id} not on node {self.node_id}"
+                )
+            out.append(block)
+        return out
+
+    def scan_locally(
+        self, query: AggregationQuery, block_ids: list[BlockId]
+    ) -> Generator[Event, Any, dict[CellKey, SummaryVector]]:
+        """Read + aggregate local blocks, charging disk and CPU time."""
+        blocks = self.local_blocks(block_ids)
+        for block in blocks:
+            yield self.disk.read(block.nbytes)
+        cells, stats = scan_blocks(blocks, query)
+        yield self.sim.timeout(stats.records_scanned * self.cost.scan_cost_per_record)
+        self.counters.increment("blocks_scanned", stats.blocks_read)
+        self.counters.increment("records_scanned", stats.records_scanned)
+        return cells
+
+    def _handle_scan(self, message: Message) -> Generator[Event, Any, None]:
+        yield self.sim.timeout(self.cost.request_overhead)
+        query: AggregationQuery = message.payload["query"]
+        block_ids: list[BlockId] = message.payload["block_ids"]
+        cells = yield self.sim.process(self.scan_locally(query, block_ids))
+        self.network.respond(
+            message, cells, size=len(cells) * self.cost.cell_wire_size
+        )

@@ -1,0 +1,162 @@
+"""Shared scaffolding for simulated distributed systems.
+
+:class:`DistributedSystem` builds the pieces every variant needs — the
+simulator, the DHT partitioner, the ingested storage catalog, the network
+with a registered client endpoint, and the metric collectors — and
+provides the client-side submit/run API.  Subclasses
+(:class:`~repro.baselines.basic.BasicSystem`,
+:class:`~repro.core.cluster.StashCluster`,
+:class:`~repro.baselines.elastic.ElasticSystem`) create their node types
+and register their protocol handlers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator
+
+from repro.config import DEFAULT_CONFIG, StashConfig
+from repro.data.observation import ObservationBatch
+from repro.dht.partitioner import PrefixPartitioner
+from repro.errors import QueryError
+from repro.query.model import AggregationQuery, QueryResult
+from repro.sim.engine import Event, Process, Simulator
+from repro.sim.metrics import LatencyCollector, ThroughputTimeline
+from repro.sim.network import Network
+from repro.storage.backend import StorageCatalog
+
+#: Network id of the (single, aggregate) client endpoint.
+CLIENT_ID = "client"
+
+
+class DistributedSystem(ABC):
+    """A simulated cluster serving aggregation queries."""
+
+    def __init__(
+        self,
+        dataset: ObservationBatch,
+        config: StashConfig = DEFAULT_CONFIG,
+        sim: Simulator | None = None,
+    ):
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.node_ids = [f"node-{i}" for i in range(config.cluster.num_nodes)]
+        self.partitioner = PrefixPartitioner(
+            self.node_ids, config.cluster.partition_precision
+        )
+        self.catalog = StorageCatalog(
+            self.partitioner, block_precision=config.cluster.block_precision
+        )
+        self.catalog.ingest(dataset)
+        self.attribute_names = dataset.attribute_names
+        self.network = Network(self.sim, config.cost)
+        self.network.register(CLIENT_ID)
+        self.latencies = LatencyCollector()
+        self.timeline = ThroughputTimeline()
+        self._nodes_started = False
+
+    # -- subclass surface ---------------------------------------------------
+
+    @abstractmethod
+    def _start_nodes(self) -> None:
+        """Create and start this system's node processes."""
+
+    def start(self) -> None:
+        """Bring the cluster up; idempotent."""
+        if not self._nodes_started:
+            self._start_nodes()
+            self._nodes_started = True
+
+    # -- routing --------------------------------------------------------------
+
+    def coordinator_for(self, query: AggregationQuery) -> str:
+        """The node a client request is sent to.
+
+        Requests land on the owner of the query's center geohash, mirroring
+        geospatial request routing: interest concentrated on one region
+        queues up on one node (the hotspot precondition of section VII).
+        """
+        from repro.geo.geohash import encode
+
+        lat, lon = query.bbox.center
+        code = encode(lat, lon, self.partitioner.partition_precision)
+        return self.partitioner.node_for(code)
+
+    # -- client API -------------------------------------------------------------
+
+    def submit(self, query: AggregationQuery) -> Process:
+        """Submit one query; returns a process event yielding QueryResult."""
+        self.start()
+        return self.sim.process(self._client_request(query))
+
+    def _client_request(
+        self, query: AggregationQuery
+    ) -> Generator[Event, Any, QueryResult]:
+        started = self.sim.now
+        coordinator = self.coordinator_for(query)
+        reply = yield self.network.request(
+            CLIENT_ID, coordinator, "evaluate", {"query": query}, size=512
+        )
+        latency = self.sim.now - started
+        self.latencies.record(latency)
+        self.timeline.record_completion(self.sim.now)
+        if not isinstance(reply, dict) or "cells" not in reply:
+            raise QueryError(f"malformed evaluate reply: {reply!r}")
+        return QueryResult(
+            query=query,
+            cells=reply["cells"],
+            latency=latency,
+            provenance=reply.get("provenance", {}),
+        )
+
+    def run_query(self, query: AggregationQuery) -> QueryResult:
+        """Submit one query and run the simulation to its completion."""
+        return self.sim.run(until=self.submit(query))
+
+    def run_serial(self, queries: list[AggregationQuery]) -> list[QueryResult]:
+        """Run queries one at a time (latency experiments)."""
+        return [self.run_query(q) for q in queries]
+
+    def run_concurrent(self, queries: list[AggregationQuery]) -> list[QueryResult]:
+        """Fire all queries at once and run to completion (throughput)."""
+        self.start()
+        done = self.sim.all_of([self.submit(q) for q in queries])
+        return self.sim.run(until=done)
+
+    def run_open_loop(
+        self,
+        queries: list[AggregationQuery],
+        rate: float,
+        seed: int = 0,
+    ) -> list[QueryResult]:
+        """Open-loop load: Poisson arrivals at ``rate`` requests/second.
+
+        Unlike :meth:`run_concurrent` (everything at t=0) this models a
+        stream of independent users: exponential inter-arrival times, no
+        back-pressure from slow responses — the regime where queueing
+        delay actually builds up.
+        """
+        import numpy as np
+
+        from repro.errors import QueryError
+
+        if rate <= 0:
+            raise QueryError("arrival rate must be positive")
+        self.start()
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(1.0 / rate, len(queries))
+
+        submissions: list = []
+
+        def arrival_process():
+            for query, gap in zip(queries, gaps):
+                yield self.sim.timeout(float(gap))
+                submissions.append(self.submit(query))
+
+        self.sim.run(until=self.sim.process(arrival_process()))
+        done = self.sim.all_of(submissions)
+        return self.sim.run(until=done)
+
+    def drain(self) -> None:
+        """Run any background work (population, janitors) to quiescence."""
+        self.sim.run()

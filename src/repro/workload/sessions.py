@@ -1,0 +1,149 @@
+"""Realistic multi-user exploration sessions.
+
+The paper motivates STASH with *many users* exploring via sequences of
+gestures, not isolated queries.  This module generates whole gesture
+walks — pan / dice in / dice out / drill-down / roll-up / day-slice /
+jump-to-new-region — per simulated user, and interleaves several users
+into one arrival stream, producing traffic with the spatial and temporal
+locality the cache exploits (paper section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+from repro.workload.navigation import COMPASS
+from repro.workload.queries import QuerySize, random_box
+
+
+@dataclass(frozen=True)
+class GestureWeights:
+    """Relative probabilities of each gesture in a session walk."""
+
+    pan: float = 0.40
+    dice_in: float = 0.12
+    dice_out: float = 0.12
+    drill_down: float = 0.10
+    roll_up: float = 0.10
+    slice_day: float = 0.10
+    jump: float = 0.06
+
+    def normalized(self) -> np.ndarray:
+        weights = np.array(
+            [
+                self.pan, self.dice_in, self.dice_out, self.drill_down,
+                self.roll_up, self.slice_day, self.jump,
+            ],
+            dtype=np.float64,
+        )
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise WorkloadError("gesture weights must be non-negative, not all zero")
+        return weights / weights.sum()
+
+
+GESTURES = ("pan", "dice_in", "dice_out", "drill_down", "roll_up", "slice_day", "jump")
+
+
+def random_session(
+    rng: np.random.Generator,
+    domain: BoundingBox,
+    length: int,
+    days: list[TimeKey],
+    start_size: QuerySize = QuerySize.STATE,
+    spatial_range: tuple[int, int] = (2, 5),
+    weights: GestureWeights | None = None,
+) -> list[AggregationQuery]:
+    """One user's gesture walk as a query sequence.
+
+    The walk keeps explicit viewport state (box, spatial precision, day)
+    and mutates it per gesture, exactly like
+    :class:`~repro.client.session.ExplorationSession` would.
+    """
+    if length < 1:
+        raise WorkloadError("session length must be >= 1")
+    if not days:
+        raise WorkloadError("need at least one day")
+    lo, hi = spatial_range
+    if not 1 <= lo <= hi:
+        raise WorkloadError("invalid spatial_range")
+    probabilities = (weights or GestureWeights()).normalized()
+
+    box = random_box(rng, start_size, domain)
+    precision = int(rng.integers(lo, hi + 1))
+    day = days[int(rng.integers(0, len(days)))]
+
+    out: list[AggregationQuery] = []
+
+    def emit() -> None:
+        out.append(
+            AggregationQuery(
+                bbox=box,
+                time_range=day.epoch_range(),
+                resolution=Resolution(precision, TemporalResolution.DAY),
+            )
+        )
+
+    emit()
+    while len(out) < length:
+        gesture = GESTURES[int(rng.choice(len(GESTURES), p=probabilities))]
+        if gesture == "pan":
+            dlat_sign, dlon_sign = COMPASS[int(rng.integers(0, 8))]
+            fraction = float(rng.uniform(0.1, 0.3))
+            box = box.translated(
+                dlat_sign * fraction * box.height, dlon_sign * fraction * box.width
+            )
+        elif gesture == "dice_in":
+            box = box.scaled(0.8)
+        elif gesture == "dice_out":
+            box = box.scaled(1.25)
+        elif gesture == "drill_down":
+            if precision < hi:
+                precision += 1
+        elif gesture == "roll_up":
+            if precision > lo:
+                precision -= 1
+        elif gesture == "slice_day":
+            day = days[int(rng.integers(0, len(days)))]
+        else:  # jump
+            box = random_box(rng, start_size, domain)
+        emit()
+    return out
+
+
+def interleaved_users(
+    rng: np.random.Generator,
+    domain: BoundingBox,
+    num_users: int,
+    session_length: int,
+    days: list[TimeKey],
+    **session_kwargs,
+) -> list[AggregationQuery]:
+    """Round-robin-ish interleaving of several user sessions.
+
+    Each arrival is drawn from a random user's next gesture, preserving
+    each user's own gesture order — the multi-user request stream a
+    shared STASH deployment actually sees.
+    """
+    if num_users < 1:
+        raise WorkloadError("need at least one user")
+    sessions = [
+        random_session(rng, domain, session_length, days, **session_kwargs)
+        for _ in range(num_users)
+    ]
+    cursors = [0] * num_users
+    out: list[AggregationQuery] = []
+    remaining = num_users * session_length
+    while remaining:
+        active = [u for u in range(num_users) if cursors[u] < session_length]
+        user = active[int(rng.integers(0, len(active)))]
+        out.append(sessions[user][cursors[user]])
+        cursors[user] += 1
+        remaining -= 1
+    return out

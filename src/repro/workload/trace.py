@@ -1,0 +1,90 @@
+"""Query-trace recording and replay.
+
+Evaluation tooling: serialize any query workload to JSONL, reload it
+later, and replay it against any engine.  Traces make experiments
+portable (share the exact query stream, not the generator code) and are
+the natural format for driving the system from *real* front-end logs if
+you have them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.errors import WorkloadError
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeRange
+from repro.query.model import AggregationQuery, QueryResult
+
+
+def query_to_dict(query: AggregationQuery) -> dict:
+    """JSON-serializable form of one query."""
+    return {
+        "bbox": [query.bbox.south, query.bbox.north, query.bbox.west, query.bbox.east],
+        "time": [query.time_range.start, query.time_range.end],
+        "spatial": query.resolution.spatial,
+        "temporal": query.resolution.temporal.name.lower(),
+        "attributes": list(query.attributes) if query.attributes else None,
+    }
+
+
+def query_from_dict(body: dict) -> AggregationQuery:
+    """Inverse of :func:`query_to_dict`."""
+    try:
+        south, north, west, east = body["bbox"]
+        start, end = body["time"]
+        spatial = int(body["spatial"])
+        temporal = TemporalResolution[body["temporal"].upper()]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise WorkloadError(f"malformed trace record: {body!r}") from exc
+    attributes = body.get("attributes")
+    return AggregationQuery(
+        bbox=BoundingBox(south, north, west, east),
+        time_range=TimeRange(start, end),
+        resolution=Resolution(spatial, temporal),
+        attributes=tuple(attributes) if attributes else None,
+    )
+
+
+def save_trace(
+    queries: Iterable[AggregationQuery], path: str | pathlib.Path
+) -> int:
+    """Write queries to a JSONL trace file; returns the record count."""
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for query in queries:
+            handle.write(json.dumps(query_to_dict(query), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | pathlib.Path) -> list[AggregationQuery]:
+    """Read a JSONL trace file back into query objects."""
+    path = pathlib.Path(path)
+    out: list[AggregationQuery] = []
+    for line_no, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            body = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(f"{path}:{line_no}: invalid JSON") from exc
+        out.append(query_from_dict(body))
+    return out
+
+
+def replay_trace(
+    system, queries: list[AggregationQuery], concurrent: bool = False
+) -> list[QueryResult]:
+    """Run a trace against any system, serially or all-at-once."""
+    if concurrent:
+        return system.run_concurrent(list(queries))
+    return system.run_serial(list(queries))

@@ -1,0 +1,102 @@
+"""Smoke tests: every figure experiment runs at unit scale and returns
+well-formed results.  Shape assertions live in benchmarks/ (default
+scale); here we only verify the experiment *code* end to end.
+"""
+
+import pytest
+
+from repro.bench import ablations, experiments
+from repro.bench.harness import BenchScale
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return BenchScale.unit()
+
+
+class TestFigureExperimentsRun:
+    def test_fig6a(self, scale):
+        result = experiments.fig6a_latency_by_query_size(scale)
+        assert set(result.series) == {"basic", "stash_cold", "stash_hot"}
+        assert result.row_labels() == ["country", "state", "county", "city"]
+        for rows in result.series.values():
+            assert all(v > 0 for v in rows.values())
+        # Even at unit scale: hot beats basic on the biggest queries.
+        assert result.series["stash_hot"]["country"] < result.series["basic"]["country"]
+
+    def test_fig6b(self, scale):
+        result = experiments.fig6b_throughput(scale)
+        assert set(result.series) == {"basic", "stash"}
+        assert result.row_labels() == ["state", "county", "city"]
+
+    def test_fig6c(self, scale):
+        result = experiments.fig6c_maintenance(scale)
+        cells = result.series["cells_populated"]
+        assert cells["country"] >= cells["city"]
+
+    def test_fig6d(self, scale):
+        result = experiments.fig6d_hotspot(scale)
+        assert set(result.series["throughput_qps"]) == {
+            "replication",
+            "no_replication",
+        }
+        assert "timeline_replication" in result.meta
+
+    @pytest.mark.parametrize("ascending", [False, True])
+    def test_fig7ab(self, scale, ascending):
+        result = experiments.fig7ab_iterative_dicing(scale, ascending)
+        assert result.row_labels() == ["q1", "q2", "q3", "q4", "q5"]
+        assert result.name == ("fig7b" if ascending else "fig7a")
+
+    def test_fig7c(self, scale):
+        result = experiments.fig7c_panning(scale)
+        assert result.row_labels() == ["pan10%", "pan20%", "pan25%"]
+
+    @pytest.mark.parametrize("direction", ["drill", "roll"])
+    def test_fig7de(self, scale, direction):
+        result = experiments.fig7de_zoom(scale, direction)
+        assert set(result.series) == {"basic", "stash50%", "stash75%", "stash100%"}
+        labels = result.row_labels()
+        if direction == "drill":
+            assert labels == sorted(labels)
+        else:
+            assert labels == sorted(labels, reverse=True)
+
+    def test_fig7de_bad_direction(self, scale):
+        with pytest.raises(ValueError):
+            experiments.fig7de_zoom(scale, "sideways")
+
+    def test_fig8a(self, scale):
+        result = experiments.fig8a_es_panning(scale)
+        assert set(result.series) == {"stash", "elastic"}
+        assert len(result.row_labels()) == 9  # base + 8 directions
+
+    @pytest.mark.parametrize("ascending", [False, True])
+    def test_fig8bc(self, scale, ascending):
+        result = experiments.fig8bc_es_dicing(scale, ascending)
+        assert set(result.series) == {"stash", "elastic"}
+        assert result.name == ("fig8b" if ascending else "fig8c")
+
+
+class TestAblationsRun:
+    def test_rollup(self, scale):
+        result = ablations.ablation_rollup(scale)
+        assert set(result.series["latency_s"]) == {"rollup_on", "rollup_off"}
+        assert result.series["disk_blocks"]["rollup_on"] == 0
+
+    def test_dispersion(self, scale):
+        result = ablations.ablation_dispersion(scale)
+        assert set(result.series["pan_latency_s"]) == {
+            "dispersion_0.35",
+            "dispersion_0",
+        }
+
+    def test_reroute(self, scale):
+        result = ablations.ablation_reroute_probability(scale)
+        assert len(result.series["throughput_qps"]) == 4
+
+    def test_prefetch(self, scale):
+        result = ablations.ablation_prefetch(scale)
+        on = result.series["avg_pan_latency_s"]["prefetch_on"]
+        off = result.series["avg_pan_latency_s"]["prefetch_off"]
+        assert on < off

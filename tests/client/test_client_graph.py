@@ -1,0 +1,129 @@
+"""Tests for the front-end mini STASH graph (paper future work IX-A)."""
+
+import pytest
+
+from repro.client.session import ExplorationSession
+from repro.config import ClusterConfig, StashConfig
+from repro.core.cluster import StashCluster
+from repro.data.generator import small_test_dataset
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.storage.backend import ground_truth_cells
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_test_dataset(num_records=6_000)
+
+
+@pytest.fixture()
+def cluster(dataset):
+    return StashCluster(dataset, StashConfig(cluster=ClusterConfig(num_nodes=4)))
+
+
+def make_session(cluster, capacity=100_000):
+    return ExplorationSession(
+        cluster,
+        viewport=BoundingBox(32, 40, -112, -102),
+        day=TimeKey.of(2013, 2, 2),
+        resolution=Resolution(3, TemporalResolution.DAY),
+        client_cache_cells=capacity,
+    )
+
+
+class TestPartialFetch:
+    def test_pan_fetches_only_missing_cells(self, cluster):
+        session = make_session(cluster)
+        session.refresh()
+        cluster.drain()
+        footprint_size = len(session.current_query().footprint())
+        fetched_before = session.stats.cells_fetched
+        session.pan("e", 0.25)
+        newly_fetched = session.stats.cells_fetched - fetched_before
+        # Only the leading-edge strip is fetched, not the whole viewport.
+        assert 0 < newly_fetched < footprint_size * 0.5
+
+    def test_partial_results_match_truth(self, cluster, dataset):
+        session = make_session(cluster)
+        session.refresh()
+        cluster.drain()
+        result = session.pan("e", 0.25)
+        truth = ground_truth_cells(dataset, session.current_query())
+        assert set(result.cells) == set(truth)
+        for key, vec in result.cells.items():
+            assert vec.approx_equal(truth[key])
+
+    def test_full_repeat_is_zero_latency(self, cluster):
+        session = make_session(cluster)
+        first = session.refresh()
+        second = session.refresh()
+        assert first.latency > 0
+        assert second.latency == 0.0
+        assert session.stats.client_cache_hits == 1
+        assert set(second.cells) == set(first.cells)
+
+    def test_client_rollup_serves_coarse_view(self, cluster, dataset):
+        """Roll-up happens *in the client*: zooming out after exploring a
+        finer level needs no server round trip at all."""
+        session = make_session(cluster)
+        session.resolution = Resolution(4, TemporalResolution.DAY)
+        # Snap viewport to the coarse cells so fine cells tile it exactly.
+        coarse_query = session.current_query().at_resolution(
+            Resolution(3, TemporalResolution.DAY)
+        )
+        session.viewport = coarse_query.snapped_bbox()
+        session.refresh()
+        cluster.drain()
+        sent_before = session.stats.queries_sent
+        result = session.roll_up()
+        assert session.stats.queries_sent == sent_before  # no server trip
+        assert result.latency == 0.0
+        truth = ground_truth_cells(dataset, session.current_query())
+        assert set(result.cells) == set(truth)
+        for key, vec in result.cells.items():
+            assert vec.approx_equal(truth[key])
+
+    def test_eviction_respects_capacity(self, cluster):
+        session = make_session(cluster, capacity=50)
+        session.refresh()
+        session.pan("e")
+        session.pan("e")
+        assert len(session._graph) <= 50
+
+    def test_server_sees_partial_evaluations(self, cluster):
+        session = make_session(cluster)
+        session.refresh()
+        cluster.drain()
+        session.pan("e", 0.25)
+        counts = cluster.counters_total()
+        assert counts.get("partial_evaluations", 0) >= 1
+
+    def test_cells_fetched_accounting(self, cluster):
+        session = make_session(cluster)
+        session.refresh()
+        footprint_size = len(session.current_query().footprint())
+        assert session.stats.cells_fetched == footprint_size
+        assert session.stats.cells_served_locally == 0
+
+
+class TestFallbackWithoutPartialAPI:
+    def test_basic_system_falls_back_to_full_queries(self, dataset):
+        from repro.baselines.basic import BasicSystem
+
+        system = BasicSystem(
+            dataset, StashConfig(cluster=ClusterConfig(num_nodes=4))
+        )
+        session = ExplorationSession(
+            system,
+            viewport=BoundingBox(32, 40, -112, -102),
+            day=TimeKey.of(2013, 2, 2),
+            resolution=Resolution(3, TemporalResolution.DAY),
+            client_cache_cells=100_000,
+        )
+        first = session.refresh()
+        second = session.refresh()  # full client hit still works
+        assert second.latency == 0.0
+        assert set(second.cells) == set(first.cells)
+        session.pan("e", 0.25)  # partial: falls back to run_query
+        assert session.stats.queries_sent == 2

@@ -1,0 +1,104 @@
+"""Attribute slicing (OLAP "slice"): selection must not poison the cache."""
+
+import pytest
+
+from repro.config import ClusterConfig, StashConfig
+from repro.core.cluster import StashCluster
+from repro.data.generator import small_test_dataset
+from repro.data.statistics import SummaryVector
+from repro.errors import StatisticsError
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+from repro.storage.backend import ground_truth_cells
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_test_dataset(num_records=5_000)
+
+
+@pytest.fixture()
+def cluster(dataset):
+    return StashCluster(dataset, StashConfig(cluster=ClusterConfig(num_nodes=4)))
+
+
+def make_query(attributes=None):
+    return AggregationQuery(
+        bbox=BoundingBox(32, 40, -112, -102),
+        time_range=TimeKey.of(2013, 2, 2).epoch_range(),
+        resolution=Resolution(3, TemporalResolution.DAY),
+        attributes=attributes,
+    )
+
+
+class TestProjection:
+    def test_project_subset(self):
+        import numpy as np
+
+        vec = SummaryVector.from_arrays(
+            {"a": np.array([1.0]), "b": np.array([2.0])}
+        )
+        projected = vec.project(["a"])
+        assert projected.attributes == ["a"]
+        assert projected["a"].total == 1.0
+
+    def test_project_unknown(self):
+        import numpy as np
+
+        vec = SummaryVector.from_arrays({"a": np.array([1.0])})
+        with pytest.raises(StatisticsError):
+            vec.project(["a", "zzz"])
+
+    def test_project_empty_selection(self):
+        import numpy as np
+
+        vec = SummaryVector.from_arrays({"a": np.array([1.0])})
+        with pytest.raises(StatisticsError):
+            vec.project([])
+
+
+class TestSlicedQueries:
+    def test_sliced_query_returns_only_selected(self, cluster, dataset):
+        query = make_query(attributes=("temperature",))
+        result = cluster.run_query(query)
+        assert result.cells
+        for vec in result.cells.values():
+            assert vec.attributes == ["temperature"]
+        truth = ground_truth_cells(dataset, query)
+        for key, vec in result.cells.items():
+            assert vec.approx_equal(truth[key])
+
+    def test_sliced_query_does_not_poison_cache(self, cluster, dataset):
+        """A temperature-only query must not cache temperature-only cells:
+        a later full query served from cache needs every attribute."""
+        cluster.run_query(make_query(attributes=("temperature",)))
+        cluster.drain()
+        full = cluster.run_query(make_query())
+        # Served from cache (the sliced query populated complete cells)...
+        assert full.provenance["cells_from_disk"] == 0
+        # ... and every attribute is present and correct.
+        truth = ground_truth_cells(dataset, make_query())
+        assert set(full.cells) == set(truth)
+        for key, vec in full.cells.items():
+            assert set(vec.attributes) == {
+                "humidity", "precipitation", "snow_depth", "temperature",
+            }
+            assert vec.approx_equal(truth[key])
+
+    def test_full_then_sliced_serves_from_cache(self, cluster):
+        cluster.run_query(make_query())
+        cluster.drain()
+        sliced = cluster.run_query(make_query(attributes=("humidity",)))
+        assert sliced.provenance["cells_from_disk"] == 0
+        for vec in sliced.cells.values():
+            assert vec.attributes == ["humidity"]
+
+    def test_sliced_matches_full_on_common_attribute(self, cluster):
+        full = cluster.run_query(make_query())
+        cluster.drain()
+        sliced = cluster.run_query(make_query(attributes=("temperature",)))
+        assert set(sliced.cells) == set(full.cells)
+        for key, vec in sliced.cells.items():
+            assert vec["temperature"].approx_equal(full.cells[key]["temperature"])

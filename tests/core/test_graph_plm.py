@@ -1,0 +1,269 @@
+"""Tests for StashGraph, PrecisionLevelMap, freshness, and eviction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EvictionConfig, FreshnessConfig
+from repro.core.cell import Cell
+from repro.core.eviction import EvictionPolicy
+from repro.core.freshness import FreshnessTracker, neighborhood_ring, query_ring
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.data.block import BlockId
+from repro.data.statistics import SummaryVector
+from repro.errors import CacheError
+from repro.geo import geohash as gh
+from repro.geo.resolution import ResolutionSpace
+from repro.geo.temporal import TimeKey
+
+SPACE = ResolutionSpace(1, 8)
+DAY = TimeKey.of(2013, 2, 2)
+ATTRS = ["temperature"]
+
+
+def make_cell(geohash: str, day: TimeKey = DAY, value: float = 1.0) -> Cell:
+    import numpy as np
+
+    key = CellKey(geohash, day)
+    return Cell(key=key, summary=SummaryVector.from_arrays({"temperature": np.array([value])}))
+
+
+def empty_cell(geohash: str, day: TimeKey = DAY) -> Cell:
+    return Cell(key=CellKey(geohash, day), summary=SummaryVector.empty(ATTRS))
+
+
+class TestGraphBasics:
+    def test_insert_get_contains(self):
+        graph = StashGraph(SPACE)
+        cell = make_cell("9q8y7")
+        graph.insert(cell)
+        assert graph.contains(cell.key)
+        assert graph.get(cell.key) is cell
+        assert len(graph) == 1
+
+    def test_duplicate_insert_rejected(self):
+        graph = StashGraph(SPACE)
+        graph.insert(make_cell("9q8y7"))
+        with pytest.raises(CacheError):
+            graph.insert(make_cell("9q8y7"))
+
+    def test_upsert_keeps_first(self):
+        graph = StashGraph(SPACE)
+        first = make_cell("9q8y7", value=1.0)
+        second = make_cell("9q8y7", value=99.0)
+        assert graph.upsert(first)
+        assert not graph.upsert(second)
+        assert graph.get(first.key) is first
+
+    def test_remove(self):
+        graph = StashGraph(SPACE)
+        cell = make_cell("9q8y7")
+        graph.insert(cell)
+        removed = graph.remove(cell.key)
+        assert removed is cell
+        assert not graph.contains(cell.key)
+        with pytest.raises(CacheError):
+            graph.remove(cell.key)
+
+    def test_levels_separate_resolutions(self):
+        graph = StashGraph(SPACE)
+        graph.insert(make_cell("9q8y7"))
+        graph.insert(make_cell("9q8y"))
+        sizes = graph.level_sizes()
+        assert len(sizes) == 2
+        assert all(v == 1 for v in sizes.values())
+
+    def test_empty_cell_is_resident(self):
+        graph = StashGraph(SPACE)
+        cell = empty_cell("9q8y7")
+        graph.insert(cell)
+        assert graph.contains(cell.key)
+        assert graph.get(cell.key).count == 0
+
+
+class TestPLM:
+    def test_plm_tracks_blocks(self):
+        graph = StashGraph(SPACE)
+        cell = make_cell("9q8y7")
+        blocks = frozenset({BlockId("9q", "2013-02-02")})
+        graph.insert(cell, backing_blocks=blocks)
+        level = graph.level_of(cell.key)
+        assert graph.plm.blocks_of(level, cell.key) == blocks
+
+    def test_split_footprint_partition(self):
+        graph = StashGraph(SPACE)
+        cached_cell = make_cell("9q8y7")
+        graph.insert(cached_cell)
+        footprint = [
+            cached_cell.key,
+            CellKey("9q8yd", DAY),
+            CellKey("9q8ye", DAY),
+        ]
+        level = graph.level_of(cached_cell.key)
+        cached, missing = graph.plm.split_footprint(level, footprint)
+        assert cached == [cached_cell.key]
+        assert set(missing) == {CellKey("9q8yd", DAY), CellKey("9q8ye", DAY)}
+        assert set(cached) | set(missing) == set(footprint)
+        assert set(cached).isdisjoint(missing)
+
+    def test_invalidate_block(self):
+        graph = StashGraph(SPACE)
+        block = BlockId("9q", "2013-02-02")
+        other = BlockId("9r", "2013-02-02")
+        a = make_cell("9q8y7")
+        b = make_cell("9q8yd")
+        c = make_cell("9r8y7")
+        graph.insert(a, frozenset({block}))
+        graph.insert(b, frozenset({block}))
+        graph.insert(c, frozenset({other}))
+        stale = graph.invalidate_block(block)
+        assert set(stale) == {a.key, b.key}
+        assert not graph.contains(a.key)
+        assert graph.contains(c.key)
+
+    def test_plm_remove_unknown(self):
+        graph = StashGraph(SPACE)
+        with pytest.raises(CacheError):
+            graph.plm.remove(0, CellKey("9q8y7", DAY))
+
+    @given(st.sets(st.text(gh.GEOHASH_ALPHABET, min_size=5, max_size=5), max_size=30))
+    @settings(max_examples=25)
+    def test_footprint_split_invariant(self, cached_hashes):
+        graph = StashGraph(SPACE)
+        for code in cached_hashes:
+            graph.upsert(make_cell(code))
+        footprint = [CellKey(c, DAY) for c in gh.children("9q8y")]
+        level = SPACE.level_of(footprint[0].resolution)
+        cached, missing = graph.plm.split_footprint(level, footprint)
+        assert set(cached) | set(missing) == set(footprint)
+        assert set(cached).isdisjoint(missing)
+        assert all(graph.contains(k) for k in cached)
+        assert not any(graph.contains(k) for k in missing)
+
+
+class TestFreshness:
+    def test_touch_increments(self):
+        tracker = FreshnessTracker(FreshnessConfig(f_inc=2.0, half_life=100.0))
+        graph = StashGraph(SPACE)
+        cell = make_cell("9q8y7")
+        graph.insert(cell)
+        touched = tracker.touch_cells(graph, [cell.key], now=0.0)
+        assert touched == 1
+        assert cell.freshness == pytest.approx(2.0)
+        assert cell.access_count == 1
+
+    def test_touch_absent_skipped(self):
+        tracker = FreshnessTracker(FreshnessConfig())
+        graph = StashGraph(SPACE)
+        assert tracker.touch_cells(graph, [CellKey("9q8y7", DAY)], now=0.0) == 0
+
+    def test_decay_halves_at_half_life(self):
+        config = FreshnessConfig(f_inc=1.0, half_life=10.0)
+        tracker = FreshnessTracker(config)
+        graph = StashGraph(SPACE)
+        cell = make_cell("9q8y7")
+        graph.insert(cell)
+        tracker.touch_cells(graph, [cell.key], now=0.0)
+        assert tracker.score(cell, now=10.0) == pytest.approx(0.5)
+
+    def test_repeat_access_accumulates(self):
+        config = FreshnessConfig(f_inc=1.0, half_life=1e9)
+        tracker = FreshnessTracker(config)
+        graph = StashGraph(SPACE)
+        cell = make_cell("9q8y7")
+        graph.insert(cell)
+        for t in range(5):
+            tracker.touch_cells(graph, [cell.key], now=float(t))
+        assert cell.freshness == pytest.approx(5.0, rel=1e-6)
+
+    def test_dispersion_fraction(self):
+        config = FreshnessConfig(f_inc=1.0, dispersion_fraction=0.25, half_life=1e9)
+        tracker = FreshnessTracker(config)
+        graph = StashGraph(SPACE)
+        ring_cell = make_cell("9q8yd")
+        graph.insert(ring_cell)
+        tracker.disperse_to_neighborhood(graph, [ring_cell.key], now=0.0)
+        assert ring_cell.freshness == pytest.approx(0.25)
+
+    def test_query_ring_matches_general_ring(self):
+        from repro.geo.bbox import BoundingBox
+        from repro.geo.resolution import Resolution
+        from repro.geo.temporal import TemporalResolution, TimeRange
+        from repro.query.model import AggregationQuery
+
+        query = AggregationQuery(
+            bbox=BoundingBox(35, 38, -107, -103),
+            time_range=TimeRange(
+                DAY.epoch_range().start, DAY.step(2).epoch_range().start
+            ),
+            resolution=Resolution(3, TemporalResolution.DAY),
+        )
+        fast = set(query_ring(query))
+        general = set(neighborhood_ring(query.footprint()))
+        assert fast == general
+
+    def test_neighborhood_ring_excludes_footprint(self):
+        footprint = [CellKey(c, DAY) for c in gh.children("9q8y")]
+        ring = neighborhood_ring(footprint)
+        assert set(ring).isdisjoint(footprint)
+        assert len(ring) == len(set(ring))
+        # Ring contains temporal neighbors too.
+        assert any(k.time_key != DAY for k in ring)
+        # Every ring member is a lateral neighbor of some footprint cell.
+        members = set(footprint)
+        for key in ring:
+            assert any(n in members for n in key.lateral_neighbors())
+
+
+class TestEviction:
+    def _loaded_graph(self, n: int):
+        graph = StashGraph(SPACE)
+        tracker = FreshnessTracker(FreshnessConfig(half_life=1e9))
+        cells = []
+        for i, code in enumerate(gh.children("9q8y")[:n]):
+            cell = make_cell(code)
+            graph.insert(cell)
+            cells.append(cell)
+        return graph, tracker, cells
+
+    def test_no_eviction_under_threshold(self):
+        graph, tracker, _ = self._loaded_graph(10)
+        policy = EvictionPolicy(EvictionConfig(max_cells=20, safe_fraction=0.5))
+        assert policy.enforce(graph, tracker, now=0.0) == []
+
+    def test_eviction_to_safe_limit(self):
+        graph, tracker, cells = self._loaded_graph(21)
+        policy = EvictionPolicy(EvictionConfig(max_cells=20, safe_fraction=0.5))
+        evicted = policy.enforce(graph, tracker, now=0.0)
+        assert len(graph) == 10
+        assert len(evicted) == 11
+        assert policy.evictions == 11
+
+    def test_eviction_keeps_freshest(self):
+        graph, tracker, cells = self._loaded_graph(21)
+        hot = cells[:10]
+        tracker.touch_cells(graph, [c.key for c in hot], now=0.0)
+        policy = EvictionPolicy(EvictionConfig(max_cells=20, safe_fraction=0.5))
+        evicted = set(policy.enforce(graph, tracker, now=1.0))
+        for cell in hot:
+            assert cell.key not in evicted
+            assert graph.contains(cell.key)
+
+    def test_bad_config(self):
+        with pytest.raises(CacheError):
+            EvictionPolicy(EvictionConfig(max_cells=0))
+        with pytest.raises(CacheError):
+            EvictionPolicy(EvictionConfig(safe_fraction=0.0))
+
+    @given(st.integers(1, 64), st.integers(1, 40))
+    @settings(max_examples=25)
+    def test_eviction_never_exceeds_safe_limit(self, max_cells, extra):
+        graph = StashGraph(SPACE)
+        tracker = FreshnessTracker(FreshnessConfig(half_life=1e9))
+        codes = gh.children("9q8y") + gh.children("9q8z") + gh.children("9q8w")
+        for code in codes[: max_cells + extra]:
+            graph.upsert(make_cell(code))
+        policy = EvictionPolicy(EvictionConfig(max_cells=max_cells, safe_fraction=0.8))
+        policy.enforce(graph, tracker, now=0.0)
+        assert len(graph) <= max(1, int(max_cells * 0.8))

@@ -1,0 +1,115 @@
+"""Real-time update path: live ingest invalidates stale cached cells."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, StashConfig
+from repro.core.cluster import StashCluster
+from repro.data.generator import small_test_dataset
+from repro.data.observation import ObservationBatch
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+from repro.storage.backend import ground_truth_cells
+
+
+def make_query(box=None):
+    return AggregationQuery(
+        bbox=box or BoundingBox(32, 40, -112, -102),
+        time_range=TimeKey.of(2013, 2, 2).epoch_range(),
+        resolution=Resolution(4, TemporalResolution.DAY),
+    )
+
+
+def new_observations(n=50, lat0=35.0, lon0=-107.0, temp=99.0):
+    """A burst of hot observations inside the query box on the query day."""
+    rng = np.random.default_rng(123)
+    base = TimeKey.of(2013, 2, 2).epoch_range()
+    return ObservationBatch(
+        lats=rng.uniform(lat0, lat0 + 1.0, n),
+        lons=rng.uniform(lon0, lon0 + 1.0, n),
+        epochs=rng.uniform(base.start, base.end - 1, n),
+        attributes={
+            "temperature": np.full(n, temp),
+            "humidity": np.full(n, 10.0),
+            "precipitation": np.zeros(n),
+            "snow_depth": np.zeros(n),
+        },
+    )
+
+
+@pytest.fixture()
+def cluster():
+    dataset = small_test_dataset(num_records=6_000)
+    return StashCluster(dataset, StashConfig(cluster=ClusterConfig(num_nodes=6)))
+
+
+class TestLiveIngest:
+    def test_stale_cells_recomputed(self, cluster):
+        query = make_query()
+        before = cluster.run_query(query)
+        cluster.drain()
+        blocks, invalidated = cluster.ingest_live(new_observations())
+        assert blocks > 0
+        assert invalidated > 0
+        after = cluster.run_query(make_query())
+        # New records are visible: total count grew by exactly the burst.
+        assert after.total_count == before.total_count + 50
+        # The hot burst shows up in the max temperature.
+        assert after.overall_summary()["temperature"].maximum == 99.0
+
+    def test_result_matches_oracle_after_update(self, cluster):
+        query = make_query()
+        cluster.run_query(query)
+        cluster.drain()
+        burst = new_observations()
+        cluster.ingest_live(burst)
+        combined = small_test_dataset(num_records=6_000).concat(burst)
+        result = cluster.run_query(make_query())
+        truth = ground_truth_cells(combined, query)
+        assert set(result.cells) == set(truth)
+        for key, vec in result.cells.items():
+            assert vec.approx_equal(truth[key])
+
+    def test_cells_cached_as_empty_are_invalidated(self, cluster):
+        # Query an ocean region with no data: cells cached as empty.
+        empty_box = BoundingBox(0.0, 2.0, -60.0, -56.0)
+        query = make_query(box=empty_box)
+        first = cluster.run_query(query)
+        assert first.cells == {}
+        cluster.drain()
+        assert cluster.total_cached_cells() > 0
+        # New data lands in that previously-empty region (new blocks!).
+        cluster.ingest_live(new_observations(lat0=0.5, lon0=-58.0))
+        second = cluster.run_query(make_query(box=empty_box))
+        assert second.total_count == 50
+
+    def test_untouched_regions_keep_their_cache(self, cluster):
+        far_query = make_query(box=BoundingBox(45, 50, -90, -80))
+        cluster.run_query(far_query)
+        cluster.drain()
+        cached_before = cluster.total_cached_cells()
+        cluster.ingest_live(new_observations())  # far away from far_query
+        # The far region's footprint stays cached.
+        repeat = cluster.run_query(make_query(box=BoundingBox(45, 50, -90, -80)))
+        assert repeat.provenance["cells_from_disk"] == 0
+        assert cluster.total_cached_cells() <= cached_before
+
+    def test_day_ingest_only_affects_that_day(self, cluster):
+        other_day = AggregationQuery(
+            bbox=BoundingBox(32, 40, -112, -102),
+            time_range=TimeKey.of(2013, 2, 3).epoch_range(),
+            resolution=Resolution(4, TemporalResolution.DAY),
+        )
+        cluster.run_query(other_day)
+        cluster.drain()
+        cluster.ingest_live(new_observations())  # lands on 2013-02-02
+        repeat = cluster.run_query(
+            AggregationQuery(
+                bbox=other_day.bbox,
+                time_range=other_day.time_range,
+                resolution=other_day.resolution,
+            )
+        )
+        assert repeat.provenance["cells_from_disk"] == 0

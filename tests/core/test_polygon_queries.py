@@ -1,0 +1,121 @@
+"""End-to-end polygonal queries across all three engines."""
+
+import pytest
+
+from repro.baselines.basic import BasicSystem
+from repro.baselines.elastic import ElasticSystem
+from repro.config import ClusterConfig, ElasticConfig, StashConfig
+from repro.core.cluster import StashCluster
+from repro.data.generator import small_test_dataset
+from repro.geo.polygon import Polygon
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+from repro.storage.backend import ground_truth_cells
+
+TRIANGLE = Polygon.of((28.0, -115.0), (45.0, -115.0), (28.0, -95.0))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_test_dataset(num_records=6_000)
+
+
+def make_config():
+    return StashConfig(
+        cluster=ClusterConfig(num_nodes=5), elastic=ElasticConfig(num_shards=10)
+    )
+
+
+def polygon_query():
+    return AggregationQuery.for_polygon(
+        TRIANGLE,
+        time_range=TimeKey.of(2013, 2, 2).epoch_range(),
+        resolution=Resolution(3, TemporalResolution.DAY),
+    )
+
+
+class TestPolygonFootprint:
+    def test_footprint_respects_polygon(self):
+        query = polygon_query()
+        for key in query.footprint():
+            lat, lon = key.bbox.center
+            assert TRIANGLE.contains_point(lat, lon)
+
+    def test_footprint_smaller_than_bbox(self):
+        poly = polygon_query()
+        rect = AggregationQuery(
+            bbox=poly.bbox, time_range=poly.time_range, resolution=poly.resolution
+        )
+        assert len(poly.footprint()) < len(rect.footprint())
+
+    def test_footprint_size_matches(self):
+        query = polygon_query()
+        assert query.footprint_size() == len(query.footprint())
+
+    def test_pan_and_dice_preserve_polygon(self):
+        query = polygon_query()
+        moved = query.panned(1.0, 1.0)
+        assert moved.polygon is not None
+        assert moved.polygon.bbox.south == pytest.approx(29.0)
+        smaller = query.diced(0.25)
+        assert smaller.polygon.bbox.height == pytest.approx(
+            query.polygon.bbox.height / 2
+        )
+
+
+class TestPolygonEvaluation:
+    def _truth(self, dataset, query):
+        footprint = set(query.footprint())
+        truth = ground_truth_cells(dataset, query)
+        assert set(truth) <= footprint
+        return truth
+
+    def test_stash_cold_and_hot(self, dataset):
+        cluster = StashCluster(dataset, make_config())
+        query = polygon_query()
+        truth = self._truth(dataset, query)
+        cold = cluster.run_query(query)
+        assert set(cold.cells) == set(truth)
+        for key, vec in cold.cells.items():
+            assert vec.approx_equal(truth[key])
+        cluster.drain()
+        hot = cluster.run_query(polygon_query())
+        assert hot.matches(cold)
+        assert hot.provenance["cells_from_disk"] == 0
+
+    def test_basic_engine(self, dataset):
+        system = BasicSystem(dataset, make_config())
+        query = polygon_query()
+        result = system.run_query(query)
+        truth = self._truth(dataset, query)
+        assert set(result.cells) == set(truth)
+
+    def test_elastic_engine(self, dataset):
+        system = ElasticSystem(dataset, make_config())
+        query = polygon_query()
+        result = system.run_query(query)
+        truth = self._truth(dataset, query)
+        assert set(result.cells) == set(truth)
+
+    def test_no_cells_outside_polygon(self, dataset):
+        cluster = StashCluster(dataset, make_config())
+        result = cluster.run_query(polygon_query())
+        assert result.cells  # the triangle has data
+        for key in result.cells:
+            lat, lon = key.bbox.center
+            assert TRIANGLE.contains_point(lat, lon)
+
+    def test_polygon_cache_reused_by_rectangle_query(self, dataset):
+        """Polygon and rectangle queries share the same cells."""
+        cluster = StashCluster(dataset, make_config())
+        cluster.run_query(polygon_query())
+        cluster.drain()
+        rect = AggregationQuery(
+            bbox=TRIANGLE.bbox,
+            time_range=TimeKey.of(2013, 2, 2).epoch_range(),
+            resolution=Resolution(3, TemporalResolution.DAY),
+        )
+        result = cluster.run_query(rect)
+        # The triangle's cells come from cache; only the rest hit disk.
+        assert result.provenance["cells_from_cache"] > 0

@@ -1,0 +1,169 @@
+"""Tests for roll-up recomputation and the query planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import try_rollup
+from repro.core.cell import Cell
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.core.planner import plan_query
+from repro.data.statistics import SummaryVector
+from repro.geo import geohash as gh
+from repro.geo.resolution import ResolutionSpace
+from repro.geo.temporal import TimeKey
+
+SPACE = ResolutionSpace(1, 8)
+DAY = TimeKey.of(2013, 2, 2)
+ATTRS = ["temperature"]
+
+
+def cell_with(geohash, time_key, values):
+    key = CellKey(geohash, time_key)
+    if len(values) == 0:
+        return Cell(key=key, summary=SummaryVector.empty(ATTRS))
+    return Cell(
+        key=key,
+        summary=SummaryVector.from_arrays({"temperature": np.asarray(values, float)}),
+    )
+
+
+def fill_spatial_children(graph, parent_hash, time_key=DAY, base=0.0):
+    """Insert all 32 spatial children; children 0-3 nonempty, rest empty."""
+    total = []
+    for i, child in enumerate(gh.children(parent_hash)):
+        values = [base + i, base + i + 1] if i < 4 else []
+        total.extend(values)
+        graph.upsert(cell_with(child, time_key, values))
+    return total
+
+
+class TestRollup:
+    def test_spatial_rollup_complete(self):
+        graph = StashGraph(SPACE)
+        values = fill_spatial_children(graph, "9q8y")
+        result = try_rollup(graph, CellKey("9q8y", DAY), ATTRS)
+        assert result is not None
+        assert result.axis == "spatial"
+        assert result.merges == 32
+        expected = SummaryVector.from_arrays({"temperature": np.asarray(values)})
+        assert result.summary.approx_equal(expected)
+
+    def test_rollup_fails_with_missing_child(self):
+        graph = StashGraph(SPACE)
+        children = gh.children("9q8y")
+        for child in children[:31]:  # one child missing
+            graph.upsert(cell_with(child, DAY, [1.0]))
+        assert try_rollup(graph, CellKey("9q8y", DAY), ATTRS) is None
+
+    def test_empty_children_do_not_block_rollup(self):
+        graph = StashGraph(SPACE)
+        for child in gh.children("9q8y"):
+            graph.upsert(cell_with(child, DAY, []))
+        result = try_rollup(graph, CellKey("9q8y", DAY), ATTRS)
+        assert result is not None
+        assert result.summary.is_empty
+
+    def test_temporal_rollup(self):
+        graph = StashGraph(SPACE)
+        month = TimeKey.of(2013, 2)
+        for day_key in month.children():
+            graph.upsert(cell_with("9q8y7", day_key, [float(day_key.components[2])]))
+        result = try_rollup(graph, CellKey("9q8y7", month), ATTRS)
+        assert result is not None
+        assert result.axis == "temporal"
+        assert result.summary.count == 28
+
+    def test_spatial_preferred_over_temporal(self):
+        graph = StashGraph(SPACE)
+        month = TimeKey.of(2013, 2)
+        fill_spatial_children(graph, "9q8y", time_key=month)
+        for day_key in month.children():
+            graph.upsert(cell_with("9q8y", day_key, [1.0]))
+        result = try_rollup(graph, CellKey("9q8y", month), ATTRS)
+        assert result.axis == "spatial"
+
+    def test_rollup_collects_backing_blocks(self):
+        from repro.data.block import BlockId
+
+        graph = StashGraph(SPACE)
+        for i, child in enumerate(gh.children("9q8y")):
+            cell = cell_with(child, DAY, [1.0])
+            graph.insert(cell, frozenset({BlockId("9q", "2013-02-02")}))
+        result = try_rollup(graph, CellKey("9q8y", DAY), ATTRS)
+        assert result.backing_blocks == frozenset({BlockId("9q", "2013-02-02")})
+
+    def test_rollup_outside_space(self):
+        # Children precision (9) would exceed the space's max (8).
+        narrow = ResolutionSpace(1, 8)
+        graph = StashGraph(narrow)
+        key = CellKey("9q8y7x2w", DAY)  # precision 8: spatial children at 9
+        from repro.geo.temporal import TemporalResolution
+
+        hour_key = CellKey("9q8y7x2w", TimeKey.of(2013, 2, 2, 5))
+        # No children cached at all; must simply return None, not raise.
+        assert try_rollup(graph, key, ATTRS) is None
+        assert try_rollup(graph, hour_key, ATTRS) is None
+
+
+class TestPlanner:
+    def _footprint(self):
+        return [CellKey(c, DAY) for c in gh.children("9q8y")]
+
+    def test_all_missing_on_empty_graph(self):
+        graph = StashGraph(SPACE)
+        footprint = self._footprint()
+        plan = plan_query(graph, footprint, ATTRS)
+        assert plan.cached == {} and plan.rollup == {}
+        assert plan.missing == footprint
+        assert plan.lookups == len(footprint)
+        assert plan.hit_fraction == 0.0
+
+    def test_all_cached(self):
+        graph = StashGraph(SPACE)
+        footprint = self._footprint()
+        for key in footprint:
+            graph.upsert(cell_with(key.geohash, DAY, [1.0]))
+        plan = plan_query(graph, footprint, ATTRS)
+        assert set(plan.cached) == set(footprint)
+        assert plan.missing == []
+        assert plan.hit_fraction == 1.0
+
+    def test_mixed_plan_partitions_footprint(self):
+        graph = StashGraph(SPACE)
+        footprint = self._footprint()
+        for key in footprint[:10]:
+            graph.upsert(cell_with(key.geohash, DAY, [1.0]))
+        # Make footprint[10] recomputable by roll-up from its children.
+        fill_spatial_children(graph, footprint[10].geohash)
+        plan = plan_query(graph, footprint, ATTRS)
+        assert set(plan.cached) == set(footprint[:10])
+        assert set(plan.rollup) == {footprint[10]}
+        assert set(plan.missing) == set(footprint[11:])
+        union = set(plan.cached) | set(plan.rollup) | set(plan.missing)
+        assert union == set(footprint)
+        assert plan.merges == 32
+
+    def test_rollup_disabled(self):
+        graph = StashGraph(SPACE)
+        footprint = self._footprint()
+        fill_spatial_children(graph, footprint[0].geohash)
+        plan = plan_query(graph, footprint, ATTRS, attempt_rollup=False)
+        assert plan.rollup == {}
+        assert footprint[0] in plan.missing
+
+    def test_found_combines_cached_and_rollup(self):
+        graph = StashGraph(SPACE)
+        footprint = self._footprint()[:2]
+        graph.upsert(cell_with(footprint[0].geohash, DAY, [5.0]))
+        fill_spatial_children(graph, footprint[1].geohash)
+        plan = plan_query(graph, footprint, ATTRS)
+        found = plan.found
+        assert set(found) == set(footprint)
+        assert plan.hit_fraction == 1.0
+
+    def test_empty_footprint(self):
+        graph = StashGraph(SPACE)
+        plan = plan_query(graph, [], ATTRS)
+        assert plan.hit_fraction == 1.0
+        assert plan.lookups == 0

@@ -1,0 +1,89 @@
+"""Tests for the synthetic NAM generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    NAM_DOMAIN,
+    DatasetSpec,
+    SyntheticNAMGenerator,
+    small_test_dataset,
+)
+from repro.data.observation import OBSERVATION_ATTRIBUTES
+from repro.errors import WorkloadError
+
+
+class TestSpecValidation:
+    def test_bad_num_records(self):
+        with pytest.raises(WorkloadError):
+            DatasetSpec(num_records=0)
+
+    def test_bad_num_days(self):
+        with pytest.raises(WorkloadError):
+            DatasetSpec(num_days=0)
+
+    def test_bad_obs_per_day(self):
+        with pytest.raises(WorkloadError):
+            DatasetSpec(observations_per_day=25)
+
+    def test_time_bounds(self):
+        spec = DatasetSpec(start_day=(2013, 2, 1), num_days=28)
+        assert spec.time_end - spec.time_start == 28 * 86_400.0
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        spec = DatasetSpec(num_records=500, seed=99)
+        a = SyntheticNAMGenerator(spec).generate()
+        b = SyntheticNAMGenerator(spec).generate()
+        np.testing.assert_array_equal(a.lats, b.lats)
+        np.testing.assert_array_equal(a.attributes["temperature"], b.attributes["temperature"])
+
+    def test_different_seeds_differ(self):
+        a = SyntheticNAMGenerator(DatasetSpec(num_records=500, seed=1)).generate()
+        b = SyntheticNAMGenerator(DatasetSpec(num_records=500, seed=2)).generate()
+        assert not np.array_equal(a.lats, b.lats)
+
+    def test_records_inside_domain(self):
+        batch = small_test_dataset(num_records=1_000)
+        assert (batch.lats >= NAM_DOMAIN.south).all()
+        assert (batch.lats < NAM_DOMAIN.north).all()
+        assert (batch.lons >= NAM_DOMAIN.west).all()
+        assert (batch.lons < NAM_DOMAIN.east).all()
+
+    def test_records_inside_time_range(self):
+        spec = DatasetSpec(num_records=1_000, start_day=(2013, 2, 1), num_days=28)
+        batch = SyntheticNAMGenerator(spec).generate()
+        assert (batch.epochs >= spec.time_start).all()
+        assert (batch.epochs < spec.time_end).all()
+
+    def test_all_attributes_present(self):
+        batch = small_test_dataset(num_records=100)
+        assert set(batch.attributes) == set(OBSERVATION_ATTRIBUTES)
+
+    def test_physical_shape(self):
+        batch = small_test_dataset(num_records=20_000)
+        temp = batch.attributes["temperature"]
+        hum = batch.attributes["humidity"]
+        # Southern points warmer than northern on average.
+        south = temp[batch.lats < 25]
+        north = temp[batch.lats > 50]
+        assert south.mean() > north.mean() + 10
+        # Humidity anti-correlated with temperature.
+        assert np.corrcoef(temp, hum)[0, 1] < -0.3
+        # Snow only when freezing.
+        snowy = batch.attributes["snow_depth"] > 0
+        assert (temp[snowy] < 0).all()
+        # Humidity bounded.
+        assert (hum >= 0).all() and (hum <= 100).all()
+
+    def test_generate_chunks_cover_total(self):
+        spec = DatasetSpec(num_records=1_050, seed=5)
+        chunks = SyntheticNAMGenerator(spec).generate_chunks(200)
+        assert sum(len(c) for c in chunks) == 1_050
+        assert len(chunks) == 6
+        assert len(chunks[-1]) == 50
+
+    def test_generate_chunks_bad_size(self):
+        with pytest.raises(WorkloadError):
+            SyntheticNAMGenerator(DatasetSpec(num_records=10)).generate_chunks(0)

@@ -1,0 +1,177 @@
+"""Unit and property tests for mergeable summary statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.statistics import AttributeSummary, SummaryVector, grouped_summaries
+from repro.errors import StatisticsError
+
+value_arrays = hnp.arrays(
+    np.float64,
+    st.integers(0, 60),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+nonempty_arrays = hnp.arrays(
+    np.float64,
+    st.integers(1, 60),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+
+
+class TestAttributeSummary:
+    def test_empty_identity_values(self):
+        e = AttributeSummary.empty()
+        assert e.count == 0 and e.is_empty
+        assert e.minimum == math.inf and e.maximum == -math.inf
+
+    def test_from_values(self):
+        s = AttributeSummary.from_values(np.array([1.0, 2.0, 3.0]))
+        assert s.count == 3
+        assert s.total == 6.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.mean == 2.0
+        assert s.variance == pytest.approx(2.0 / 3.0)
+
+    def test_empty_statistics_raise(self):
+        e = AttributeSummary.empty()
+        with pytest.raises(StatisticsError):
+            _ = e.mean
+        with pytest.raises(StatisticsError):
+            _ = e.variance
+
+    def test_variance_clamped_nonnegative(self):
+        # Catastrophic cancellation candidate: large offset, tiny spread.
+        values = np.full(100, 1e8) + np.linspace(0, 1e-4, 100)
+        s = AttributeSummary.from_values(values)
+        assert s.variance >= 0.0
+
+    @given(value_arrays, value_arrays)
+    def test_merge_matches_concatenation(self, a, b):
+        merged = AttributeSummary.from_values(a).merge(AttributeSummary.from_values(b))
+        direct = AttributeSummary.from_values(np.concatenate([a, b]))
+        assert merged.approx_equal(direct, rel=1e-9)
+
+    @given(value_arrays, value_arrays, value_arrays)
+    @settings(max_examples=50)
+    def test_merge_associative(self, a, b, c):
+        sa, sb, sc = (AttributeSummary.from_values(x) for x in (a, b, c))
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sb.merge(sc))
+        assert left.approx_equal(right)
+
+    @given(value_arrays, value_arrays)
+    def test_merge_commutative(self, a, b):
+        sa, sb = AttributeSummary.from_values(a), AttributeSummary.from_values(b)
+        assert sa.merge(sb).approx_equal(sb.merge(sa))
+
+    @given(value_arrays)
+    def test_merge_identity(self, a):
+        s = AttributeSummary.from_values(a)
+        assert s.merge(AttributeSummary.empty()) == s
+        assert AttributeSummary.empty().merge(s) == s
+
+    @given(nonempty_arrays)
+    def test_derived_stats_match_numpy(self, a):
+        s = AttributeSummary.from_values(a)
+        assert s.mean == pytest.approx(a.mean(), rel=1e-9, abs=1e-9)
+        # The sum-of-squares variance loses ~|x|^2 * eps to cancellation,
+        # so the tolerance must scale with the value magnitude.
+        var_tol = max(1e-12, float(np.abs(a).max()) ** 2 * 1e-12)
+        assert s.variance == pytest.approx(a.var(), rel=1e-6, abs=var_tol)
+        assert s.minimum == a.min() and s.maximum == a.max()
+
+
+class TestSummaryVector:
+    def test_requires_attributes(self):
+        with pytest.raises(StatisticsError):
+            SummaryVector({})
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(StatisticsError):
+            SummaryVector(
+                {
+                    "a": AttributeSummary.from_values(np.array([1.0])),
+                    "b": AttributeSummary.from_values(np.array([1.0, 2.0])),
+                }
+            )
+
+    def test_getitem_unknown(self):
+        vec = SummaryVector.empty(["temperature"])
+        with pytest.raises(StatisticsError):
+            _ = vec["pressure"]
+        assert "temperature" in vec
+        assert "pressure" not in vec
+
+    def test_merge_attribute_mismatch(self):
+        a = SummaryVector.empty(["x"])
+        b = SummaryVector.empty(["y"])
+        with pytest.raises(StatisticsError):
+            a.merge(b)
+
+    def test_merge_all_empty_list(self):
+        with pytest.raises(StatisticsError):
+            SummaryVector.merge_all([])
+
+    @given(nonempty_arrays, nonempty_arrays)
+    def test_merge_matches_concat(self, a, b):
+        va = SummaryVector.from_arrays({"t": a, "h": a * 2})
+        vb = SummaryVector.from_arrays({"t": b, "h": b * 2})
+        merged = va.merge(vb)
+        direct = SummaryVector.from_arrays(
+            {"t": np.concatenate([a, b]), "h": np.concatenate([a, b]) * 2}
+        )
+        assert merged.approx_equal(direct)
+
+    def test_to_json_dict(self):
+        vec = SummaryVector.from_arrays({"t": np.array([1.0, 3.0])})
+        d = vec.to_json_dict()
+        assert d["t"]["count"] == 2
+        assert d["t"]["mean"] == 2.0
+        empty = SummaryVector.empty(["t"]).to_json_dict()
+        assert empty["t"] == {"count": 0}
+
+
+class TestGroupedSummaries:
+    def test_empty_input(self):
+        assert grouped_summaries(np.array([]), {"t": np.array([])}) == {}
+
+    def test_length_mismatch(self):
+        with pytest.raises(StatisticsError):
+            grouped_summaries(np.array(["a", "b"]), {"t": np.array([1.0])})
+
+    def test_simple_groups(self):
+        keys = np.array(["a", "b", "a", "b", "a"])
+        vals = np.array([1.0, 10.0, 2.0, 20.0, 3.0])
+        out = grouped_summaries(keys, {"t": vals})
+        assert set(out) == {"a", "b"}
+        assert out["a"]["t"].count == 3
+        assert out["a"]["t"].total == 6.0
+        assert out["b"]["t"].minimum == 10.0 and out["b"]["t"].maximum == 20.0
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.floats(-100, 100)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_matches_per_group_computation(self, records):
+        keys = np.array([r[0] for r in records])
+        vals = np.array([r[1] for r in records])
+        out = grouped_summaries(keys, {"v": vals})
+        for key in set(r[0] for r in records):
+            expected = AttributeSummary.from_values(vals[keys == key])
+            assert out[key]["v"].approx_equal(expected)
+
+    def test_multiple_attributes_share_counts(self):
+        keys = np.array(["x", "x", "y"])
+        out = grouped_summaries(
+            keys, {"a": np.array([1.0, 2.0, 3.0]), "b": np.array([4.0, 5.0, 6.0])}
+        )
+        assert out["x"].count == 2
+        assert out["x"]["b"].total == 9.0

@@ -1,0 +1,157 @@
+"""Unit and property tests for repro.geo.bbox."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeohashError
+from repro.geo.bbox import BoundingBox
+
+
+def boxes(min_size: float = 1e-3) -> st.SearchStrategy[BoundingBox]:
+    """Strategy for non-degenerate bounding boxes."""
+
+    @st.composite
+    def _box(draw):
+        south = draw(st.floats(-90, 90 - min_size))
+        north = draw(st.floats(south + min_size, 90))
+        west = draw(st.floats(-180, 180 - min_size))
+        east = draw(st.floats(west + min_size, 180))
+        return BoundingBox(south, north, west, east)
+
+    return _box()
+
+
+class TestConstruction:
+    def test_valid(self):
+        box = BoundingBox(-10, 10, -20, 20)
+        assert box.height == 20
+        assert box.width == 40
+        assert box.area == 800
+        assert box.center == (0, 0)
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            (10, -10, 0, 1),  # south > north
+            (0, 0, 0, 1),  # empty lat
+            (0, 1, 20, -20),  # west > east
+            (-91, 0, 0, 1),  # below globe
+            (0, 91, 0, 1),
+            (0, 1, -181, 0),
+            (0, 1, 0, 181),
+        ],
+    )
+    def test_invalid(self, args):
+        with pytest.raises(GeohashError):
+            BoundingBox(*args)
+
+    def test_global_box(self):
+        g = BoundingBox.global_box()
+        assert g.area == 180 * 360
+
+    def test_from_center(self):
+        box = BoundingBox.from_center(40.0, -105.0, 4.0, 8.0)
+        assert box.center == pytest.approx((40.0, -105.0))
+        assert box.height == pytest.approx(4.0)
+        assert box.width == pytest.approx(8.0)
+
+
+class TestRelations:
+    def test_contains_point_closed_open(self):
+        box = BoundingBox(0, 1, 0, 1)
+        assert box.contains_point(0, 0)
+        assert not box.contains_point(1, 0)
+        assert not box.contains_point(0, 1)
+        assert box.contains_point(0.5, 0.999)
+
+    def test_contains_box(self):
+        outer = BoundingBox(0, 10, 0, 10)
+        inner = BoundingBox(2, 8, 2, 8)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(outer)
+
+    def test_intersection_disjoint(self):
+        a = BoundingBox(0, 1, 0, 1)
+        b = BoundingBox(5, 6, 5, 6)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_intersection_touching_edges_is_empty(self):
+        a = BoundingBox(0, 1, 0, 1)
+        b = BoundingBox(1, 2, 0, 1)
+        assert not a.intersects(b)
+
+    def test_intersection_value(self):
+        a = BoundingBox(0, 10, 0, 10)
+        b = BoundingBox(5, 15, -5, 5)
+        inter = a.intersection(b)
+        assert inter == BoundingBox(5, 10, 0, 5)
+
+    def test_overlap_fraction(self):
+        a = BoundingBox(0, 10, 0, 10)
+        b = BoundingBox(0, 10, 5, 15)
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+        assert a.overlap_fraction(a) == pytest.approx(1.0)
+
+    @given(boxes(), boxes())
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+        ia, ib = a.intersection(b), b.intersection(a)
+        assert ia == ib
+
+    @given(boxes(), boxes())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_box(inter)
+            assert b.contains_box(inter)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        assert u.contains_box(a)
+        assert u.contains_box(b)
+
+
+class TestTransforms:
+    def test_translate_simple(self):
+        box = BoundingBox(0, 1, 0, 1).translated(5, -5)
+        assert box == BoundingBox(5, 6, -5, -4)
+
+    def test_translate_clamps_at_pole(self):
+        box = BoundingBox(85, 89, 0, 1).translated(10, 0)
+        assert box.north == 90
+        assert box.height == pytest.approx(4)
+
+    def test_translate_clamps_at_antimeridian(self):
+        box = BoundingBox(0, 1, 175, 179).translated(0, 10)
+        assert box.east == 180
+        assert box.width == pytest.approx(4)
+
+    def test_scaled_area(self):
+        box = BoundingBox(10, 20, 10, 30)
+        smaller = box.scaled(0.8)
+        assert smaller.area == pytest.approx(box.area * 0.8, rel=1e-9)
+        assert box.contains_box(smaller)
+
+    def test_scaled_preserves_center(self):
+        box = BoundingBox(10, 20, 10, 30)
+        smaller = box.scaled(0.5)
+        assert smaller.center == pytest.approx(box.center)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(GeohashError):
+            BoundingBox(0, 1, 0, 1).scaled(0)
+
+    @given(boxes(min_size=0.5), st.floats(0.1, 0.99))
+    def test_scaled_down_always_contained(self, box, factor):
+        assert box.contains_box(box.scaled(factor))
+
+    @given(boxes(min_size=0.5))
+    def test_translate_preserves_area(self, box):
+        moved = box.translated(3.0, -7.0)
+        assert math.isclose(moved.area, box.area, rel_tol=1e-9)

@@ -1,0 +1,108 @@
+"""Tests for repro.geo.cover (query footprints)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeohashError
+from repro.geo import geohash as gh
+from repro.geo.bbox import BoundingBox
+from repro.geo.cover import covering_cells, covering_count, expand_ring
+
+
+def small_boxes():
+    @st.composite
+    def _box(draw):
+        south = draw(st.floats(-60, 55))
+        west = draw(st.floats(-170, 160))
+        height = draw(st.floats(0.5, 5.0))
+        width = draw(st.floats(0.5, 5.0))
+        return BoundingBox(south, south + height, west, west + width)
+
+    return _box()
+
+
+class TestCoveringCells:
+    def test_single_cell_box(self):
+        box = gh.bbox("9q8y7")
+        inner = BoundingBox(
+            box.south + box.height * 0.25,
+            box.north - box.height * 0.25,
+            box.west + box.width * 0.25,
+            box.east - box.width * 0.25,
+        )
+        assert covering_cells(inner, 5) == ["9q8y7"]
+
+    def test_exact_cell_box(self):
+        box = gh.bbox("9q8y")
+        cells = covering_cells(box, 4)
+        assert cells == ["9q8y"]
+
+    def test_cell_cover_at_finer_precision_is_children(self):
+        box = gh.bbox("9q8y")
+        cells = covering_cells(box, 5)
+        assert sorted(cells) == sorted(gh.children("9q8y"))
+
+    def test_count_matches_cells(self):
+        box = BoundingBox(30, 34, -110, -102)
+        assert covering_count(box, 3) == len(covering_cells(box, 3))
+
+    def test_max_cells_guard(self):
+        box = BoundingBox.global_box()
+        with pytest.raises(GeohashError):
+            covering_cells(box, 6, max_cells=100)
+
+    def test_global_cover_at_precision_1(self):
+        cells = covering_cells(BoundingBox.global_box(), 1)
+        assert sorted(cells) == sorted(gh.GEOHASH_ALPHABET)
+
+    @given(small_boxes(), st.integers(2, 4))
+    @settings(max_examples=60)
+    def test_every_cover_cell_intersects_box(self, box, precision):
+        for cell in covering_cells(box, precision):
+            assert gh.bbox(cell).intersects(box)
+
+    @given(small_boxes(), st.integers(2, 4))
+    @settings(max_examples=60)
+    def test_cover_is_complete(self, box, precision):
+        """Corners and center of the box are inside some cover cell."""
+        cells = set(covering_cells(box, precision))
+        eps = 1e-9
+        probes = [
+            (box.south + eps, box.west + eps),
+            (box.south + eps, box.east - eps),
+            (box.north - eps, box.west + eps),
+            (box.north - eps, box.east - eps),
+            box.center,
+        ]
+        for lat, lon in probes:
+            assert gh.encode(lat, lon, precision) in cells
+
+    @given(small_boxes(), st.integers(2, 4))
+    @settings(max_examples=40)
+    def test_cover_unique(self, box, precision):
+        cells = covering_cells(box, precision)
+        assert len(cells) == len(set(cells))
+
+
+class TestExpandRing:
+    def test_ring_disjoint_from_cover(self):
+        box = BoundingBox(30, 34, -110, -102)
+        cover = set(covering_cells(box, 3))
+        ring = set(expand_ring(box, 3))
+        assert cover.isdisjoint(ring)
+
+    def test_ring_cells_adjacent_to_cover(self):
+        box = BoundingBox(30, 34, -110, -102)
+        cover = set(covering_cells(box, 3))
+        for cell in expand_ring(box, 3):
+            assert any(nb in cover for nb in gh.neighbors(cell))
+
+    def test_ring_size_for_rectangular_cover(self):
+        box = BoundingBox(30, 34, -110, -102)
+        lat_lo_cells = covering_cells(box, 3)
+        n = len(lat_lo_cells)
+        ring = expand_ring(box, 3)
+        # Perimeter of an a x b grid is 2a + 2b + 4.
+        assert len(ring) >= 8
+        assert len(ring) < n + 4 * (n ** 0.5 + 2) * 2

@@ -1,0 +1,203 @@
+"""Unit and property tests for repro.geo.geohash."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeohashError
+from repro.geo import geohash as gh
+from repro.geo.bbox import BoundingBox
+
+lats = st.floats(-90, 90, allow_nan=False)
+lons = st.floats(-180, 180, allow_nan=False)
+precisions = st.integers(1, 8)
+
+
+def geohashes(min_precision: int = 1, max_precision: int = 8):
+    return st.text(gh.GEOHASH_ALPHABET, min_size=min_precision, max_size=max_precision)
+
+
+class TestEncodeDecode:
+    def test_known_value(self):
+        # Reference value from geohash.org: San Francisco area.
+        assert gh.encode(37.7749, -122.4194, 5) == "9q8yy"
+
+    def test_paper_cell(self):
+        # The paper's running example is cell 9q8y7 (Fig. 1a).
+        box = gh.bbox("9q8y7")
+        lat, lon = box.center
+        assert gh.encode(lat, lon, 5) == "9q8y7"
+
+    def test_invalid_precision(self):
+        with pytest.raises(GeohashError):
+            gh.encode(0, 0, 0)
+        with pytest.raises(GeohashError):
+            gh.encode(0, 0, 13)
+
+    def test_invalid_coordinates(self):
+        with pytest.raises(GeohashError):
+            gh.encode(91, 0, 5)
+        with pytest.raises(GeohashError):
+            gh.encode(0, 181, 5)
+
+    def test_invalid_character(self):
+        with pytest.raises(GeohashError):
+            gh.bbox("9q8ya")  # 'a' is not in the alphabet
+
+    @given(lats, lons, precisions)
+    def test_roundtrip_bbox_contains_point(self, lat, lon, precision):
+        code = gh.encode(lat, lon, precision)
+        box = gh.bbox(code)
+        # Top/right globe edges land in the last (closed) cell; points
+        # within one float ULP of a bin boundary may round either way.
+        eps = 1e-9
+        assert box.south - eps <= lat <= box.north + eps
+        assert box.west - eps <= lon <= box.east + eps
+
+    @given(lats, lons, precisions)
+    def test_decode_center_reencodes(self, lat, lon, precision):
+        code = gh.encode(lat, lon, precision)
+        clat, clon = gh.decode(code)
+        assert gh.encode(clat, clon, precision) == code
+
+    @given(geohashes())
+    def test_cell_dimensions_match_bbox(self, code):
+        height, width = gh.cell_dimensions(len(code))
+        box = gh.bbox(code)
+        assert box.height == pytest.approx(height, rel=1e-9)
+        assert box.width == pytest.approx(width, rel=1e-6)
+
+
+class TestHierarchy:
+    def test_parent_is_prefix(self):
+        assert gh.parent("9q8y7") == "9q8y"
+
+    def test_parent_of_root_fails(self):
+        with pytest.raises(GeohashError):
+            gh.parent("9")
+
+    def test_children_count_and_prefix(self):
+        kids = gh.children("9q8y")
+        assert len(kids) == 32
+        assert all(k.startswith("9q8y") and len(k) == 5 for k in kids)
+        assert "9q8y7" in kids
+
+    @given(geohashes(max_precision=6))
+    def test_children_tile_parent_exactly(self, code):
+        parent_box = gh.bbox(code)
+        kid_boxes = [gh.bbox(k) for k in gh.children(code)]
+        total = sum(b.area for b in kid_boxes)
+        assert total == pytest.approx(parent_box.area, rel=1e-9)
+        for b in kid_boxes:
+            assert parent_box.south <= b.south and b.north <= parent_box.north + 1e-12
+            assert parent_box.west <= b.west and b.east <= parent_box.east + 1e-9
+
+    def test_common_prefix(self):
+        assert gh.common_prefix("9q8y7", "9q8yd") == "9q8y"
+        assert gh.common_prefix("9q8y7", "dq8y7") == ""
+        assert gh.common_prefix("9q8y7", "9q8y7") == "9q8y7"
+
+
+class TestNeighbors:
+    def test_paper_example_neighbors(self):
+        # Paper Fig. 1a: 9q8y7's 8 spatial neighbors.
+        expected = {"9q8yd", "9q8ye", "9q8ys", "9q8yk", "9q8yh", "9q8y5", "9q8y4", "9q8y6"}
+        assert set(gh.neighbors("9q8y7")) == expected
+
+    @given(geohashes(min_precision=2, max_precision=6))
+    def test_neighbor_symmetry(self, code):
+        for nb in gh.neighbors(code):
+            assert code in gh.neighbors(nb)
+
+    @given(geohashes(min_precision=2, max_precision=6))
+    def test_neighbors_are_adjacent(self, code):
+        box = gh.bbox(code)
+        for nb in gh.neighbors(code):
+            nbox = gh.bbox(nb)
+            # Adjacent cells share a boundary or corner: expanded boxes
+            # must intersect (handle antimeridian wrap via either side).
+            lat_touch = not (nbox.north < box.south - 1e-9 or nbox.south > box.north + 1e-9)
+            lon_gap = min(
+                abs(nbox.west - box.east),
+                abs(box.west - nbox.east),
+                abs(nbox.west - box.west),
+            )
+            assert lat_touch
+            assert lon_gap < 360.0  # sanity; wrap handled below
+        assert len(gh.neighbors(code)) in (5, 8)
+
+    def test_polar_cell_has_fewer_neighbors(self):
+        north_pole_cell = gh.encode(89.9, 0.0, 4)
+        assert len(gh.neighbors(north_pole_cell)) == 5
+
+    def test_antimeridian_wrap(self):
+        west_edge = gh.encode(0.0, -179.99, 4)
+        nbs = gh.neighbors(west_edge)
+        # One neighbor must lie on the far east side of the globe.
+        assert any(gh.bbox(nb).east == 180.0 for nb in nbs)
+
+    def test_shift(self):
+        code = "9q8y7"
+        east = gh.shift(code, 0, 1)
+        assert east in gh.neighbors(code)
+        assert gh.shift(east, 0, -1) == code
+
+    def test_shift_off_pole_returns_none(self):
+        top = gh.encode(89.99, 0.0, 3)
+        lat_steps = 0
+        probe = top
+        while probe is not None:
+            probe = gh.shift(probe, 1, 0)
+            lat_steps += 1
+            assert lat_steps < 10_000
+        assert lat_steps >= 1
+
+
+class TestAntipode:
+    def test_antipode_is_far(self):
+        code = "9q8y7"
+        anti = gh.antipode(code)
+        lat1, lon1 = gh.decode(code)
+        lat2, lon2 = gh.decode(anti)
+        assert abs(lat1 + lat2) < 1.0
+        assert 179.0 < abs(lon1 - lon2) <= 181.0
+
+    @given(geohashes(min_precision=2, max_precision=7))
+    @settings(max_examples=50)
+    def test_antipode_involution_within_one_cell(self, code):
+        back = gh.antipode(gh.antipode(code))
+        assert back == code or back in gh.neighbors(code)
+
+    def test_antipode_preserves_precision(self):
+        assert len(gh.antipode("9q8y7x")) == 6
+
+
+class TestVectorized:
+    @given(st.lists(st.tuples(lats, lons), min_size=1, max_size=64), precisions)
+    @settings(max_examples=50)
+    def test_encode_many_matches_scalar(self, points, precision):
+        la = np.array([p[0] for p in points])
+        lo = np.array([p[1] for p in points])
+        vec = gh.encode_many(la, lo, precision)
+        scalar = [gh.encode(p[0], p[1], precision) for p in points]
+        assert vec.tolist() == scalar
+
+    def test_encode_many_shape_mismatch(self):
+        with pytest.raises(GeohashError):
+            gh.encode_many(np.zeros(3), np.zeros(4), 5)
+
+    def test_encode_many_out_of_range(self):
+        with pytest.raises(GeohashError):
+            gh.encode_many(np.array([95.0]), np.array([0.0]), 5)
+
+    def test_encode_many_empty(self):
+        out = gh.encode_many(np.array([]), np.array([]), 5)
+        assert out.size == 0
+
+    def test_encode_many_2d(self):
+        la = np.array([[0.0, 10.0], [20.0, 30.0]])
+        lo = np.array([[0.0, 10.0], [20.0, 30.0]])
+        out = gh.encode_many(la, lo, 4)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == gh.encode(0.0, 0.0, 4)

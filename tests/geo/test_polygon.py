@@ -1,0 +1,133 @@
+"""Tests for polygonal regions and cell covers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeohashError
+from repro.geo.bbox import BoundingBox
+from repro.geo.geohash import bbox as geohash_bbox
+from repro.geo.polygon import Polygon, covering_cells_polygon
+
+TRIANGLE = Polygon.of((30.0, -110.0), (40.0, -110.0), (30.0, -100.0))
+CONCAVE = Polygon.of(
+    (30.0, -110.0), (40.0, -110.0), (40.0, -100.0),
+    (35.0, -105.0),  # notch pointing inward
+    (30.0, -100.0),
+)
+
+
+class TestConstruction:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeohashError):
+            Polygon.of((0.0, 0.0), (1.0, 1.0))
+
+    def test_out_of_range(self):
+        with pytest.raises(GeohashError):
+            Polygon.of((95.0, 0.0), (0.0, 0.0), (0.0, 1.0))
+        with pytest.raises(GeohashError):
+            Polygon.of((0.0, 200.0), (0.0, 0.0), (1.0, 1.0))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeohashError):
+            Polygon.of((0.0, 0.0), (0.0, 0.0), (0.0, 0.0))
+
+    def test_bbox(self):
+        assert TRIANGLE.bbox == BoundingBox(30.0, 40.0, -110.0, -100.0)
+
+    def test_from_bbox_roundtrip(self):
+        box = BoundingBox(10, 20, 30, 50)
+        assert Polygon.from_bbox(box).bbox == box
+
+
+class TestContainment:
+    def test_triangle_interior(self):
+        assert TRIANGLE.contains_point(32.0, -108.0)
+
+    def test_triangle_exterior_inside_bbox(self):
+        # Inside the bounding box but outside the hypotenuse.
+        assert not TRIANGLE.contains_point(39.0, -101.0)
+
+    def test_far_outside(self):
+        assert not TRIANGLE.contains_point(0.0, 0.0)
+
+    def test_concave_notch_excluded(self):
+        # The notch at (35, -105) carves out the middle of the east edge.
+        assert not CONCAVE.contains_point(36.5, -101.0)
+        assert CONCAVE.contains_point(36.5, -108.0)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        lats = rng.uniform(28.0, 42.0, 200)
+        lons = rng.uniform(-112.0, -98.0, 200)
+        vec = CONCAVE.contains_points(lats, lons)
+        for i in range(200):
+            assert vec[i] == CONCAVE.contains_point(lats[i], lons[i])
+
+    @given(st.floats(-80, 80), st.floats(-170, 170))
+    @settings(max_examples=60)
+    def test_rectangle_polygon_matches_bbox(self, lat, lon):
+        box = BoundingBox(10.0, 30.0, -50.0, -20.0)
+        poly = Polygon.from_bbox(box)
+        # Interior agreement (edges may differ: bbox is closed-open).
+        interior = (
+            10.0 + 1e-6 < lat < 30.0 - 1e-6 and -50.0 + 1e-6 < lon < -20.0 - 1e-6
+        )
+        if interior:
+            assert poly.contains_point(lat, lon)
+        elif not box.contains_point(lat, lon):
+            assert not poly.contains_point(lat, lon)
+
+
+class TestTransforms:
+    def test_translated(self):
+        moved = TRIANGLE.translated(5.0, 5.0)
+        assert moved.bbox.south == 35.0
+        assert moved.bbox.west == -105.0
+
+    def test_scaled_area(self):
+        smaller = TRIANGLE.scaled(0.25)  # half per axis
+        assert smaller.bbox.height == pytest.approx(TRIANGLE.bbox.height / 2)
+        assert smaller.bbox.width == pytest.approx(TRIANGLE.bbox.width / 2)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(GeohashError):
+            TRIANGLE.scaled(0.0)
+
+
+class TestPolygonCover:
+    def test_cover_subset_of_bbox_cover(self):
+        from repro.geo.cover import covering_cells
+
+        poly_cover = set(covering_cells_polygon(TRIANGLE, 3))
+        box_cover = set(covering_cells(TRIANGLE.bbox, 3))
+        assert poly_cover < box_cover  # strictly smaller: triangle != box
+
+    def test_cover_cells_centers_inside(self):
+        for cell in covering_cells_polygon(TRIANGLE, 3):
+            lat, lon = geohash_bbox(cell).center
+            assert TRIANGLE.contains_point(lat, lon)
+
+    def test_excluded_cells_centers_outside(self):
+        from repro.geo.cover import covering_cells
+
+        included = set(covering_cells_polygon(TRIANGLE, 3))
+        for cell in covering_cells(TRIANGLE.bbox, 3):
+            if cell not in included:
+                lat, lon = geohash_bbox(cell).center
+                assert not TRIANGLE.contains_point(lat, lon)
+
+    def test_rectangle_polygon_cover_is_interior_of_bbox_cover(self):
+        """Center-based polygon cover keeps exactly the bbox-cover cells
+        whose centers lie inside the rectangle (edge cells may drop)."""
+        from repro.geo.cover import covering_cells
+
+        box = BoundingBox(30.0, 40.0, -110.0, -100.0)
+        poly_cover = set(covering_cells_polygon(Polygon.from_bbox(box), 3))
+        for cell in covering_cells(box, 3):
+            lat, lon = geohash_bbox(cell).center
+            strictly_inside = (
+                box.south < lat < box.north and box.west < lon < box.east
+            )
+            assert (cell in poly_cover) == strictly_inside

@@ -1,0 +1,184 @@
+"""Unit and property tests for repro.geo.temporal."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TemporalError
+from repro.geo.temporal import (
+    NUM_TEMPORAL_RESOLUTIONS,
+    TemporalResolution,
+    TimeKey,
+    TimeRange,
+    bin_epochs,
+)
+
+resolutions = st.sampled_from(list(TemporalResolution))
+epochs_2013 = st.floats(
+    dt.datetime(2013, 1, 1, tzinfo=dt.timezone.utc).timestamp(),
+    dt.datetime(2013, 12, 31, 23, tzinfo=dt.timezone.utc).timestamp(),
+)
+
+
+class TestResolutionEnum:
+    def test_ordering(self):
+        assert TemporalResolution.YEAR < TemporalResolution.MONTH
+        assert TemporalResolution.DAY < TemporalResolution.HOUR
+
+    def test_finer_coarser_chain(self):
+        assert TemporalResolution.YEAR.finer == TemporalResolution.MONTH
+        assert TemporalResolution.HOUR.finer is None
+        assert TemporalResolution.YEAR.coarser is None
+        assert TemporalResolution.HOUR.coarser == TemporalResolution.DAY
+
+    def test_count(self):
+        assert NUM_TEMPORAL_RESOLUTIONS == 4
+
+
+class TestTimeKey:
+    def test_of_and_str(self):
+        key = TimeKey.of(2015, 3)
+        assert str(key) == "2015-03"
+        assert key.resolution == TemporalResolution.MONTH
+
+    def test_parse_roundtrip(self):
+        for text in ("2013", "2013-07", "2013-07-04", "2013-07-04-13"):
+            assert str(TimeKey.parse(text)) == text
+
+    def test_parse_invalid(self):
+        with pytest.raises(TemporalError):
+            TimeKey.parse("not-a-date")
+
+    def test_invalid_components(self):
+        with pytest.raises(TemporalError):
+            TimeKey((2013, 13))
+        with pytest.raises(TemporalError):
+            TimeKey((2013, 2, 30))
+        with pytest.raises(TemporalError):
+            TimeKey(())
+
+    def test_from_epoch(self):
+        ts = dt.datetime(2015, 3, 14, 9, 26, tzinfo=dt.timezone.utc).timestamp()
+        assert str(TimeKey.from_epoch(ts, TemporalResolution.DAY)) == "2015-03-14"
+        assert str(TimeKey.from_epoch(ts, TemporalResolution.HOUR)) == "2015-03-14-09"
+
+    def test_paper_example_neighbors(self):
+        # Paper Fig. 1b: 2015-03's temporal neighbors are 2015-02, 2015-04.
+        key = TimeKey.of(2015, 3)
+        assert [str(k) for k in key.neighbors()] == ["2015-02", "2015-04"]
+
+    def test_step_across_year(self):
+        assert str(TimeKey.of(2015, 12).step(1)) == "2016-01"
+        assert str(TimeKey.of(2015, 1).step(-1)) == "2014-12"
+
+    def test_step_across_month_days(self):
+        assert str(TimeKey.of(2013, 2, 28).step(1)) == "2013-03-01"
+
+    def test_parent(self):
+        assert TimeKey.of(2015, 3, 14).parent() == TimeKey.of(2015, 3)
+        with pytest.raises(TemporalError):
+            TimeKey.of(2015).parent()
+
+    def test_children_month_counts(self):
+        assert len(TimeKey.of(2013, 2).children()) == 28
+        assert len(TimeKey.of(2012, 2).children()) == 29  # leap year
+        assert len(TimeKey.of(2013).children()) == 12
+        assert len(TimeKey.of(2013, 7, 4).children()) == 24
+
+    def test_children_of_hour_fails(self):
+        with pytest.raises(TemporalError):
+            TimeKey.of(2013, 7, 4, 12).children()
+
+    def test_is_ancestor(self):
+        assert TimeKey.of(2013).is_ancestor_of(TimeKey.of(2013, 5))
+        assert not TimeKey.of(2013, 5).is_ancestor_of(TimeKey.of(2013))
+        assert not TimeKey.of(2013).is_ancestor_of(TimeKey.of(2014, 5))
+        assert not TimeKey.of(2013).is_ancestor_of(TimeKey.of(2013))
+
+    @given(epochs_2013, resolutions)
+    def test_bin_contains_instant(self, epoch, res):
+        key = TimeKey.from_epoch(epoch, res)
+        assert key.epoch_range().contains(epoch)
+
+    @given(epochs_2013, st.sampled_from(list(TemporalResolution)[1:]))
+    def test_parent_encloses_child(self, epoch, res):
+        key = TimeKey.from_epoch(epoch, res)
+        parent_range = key.parent().epoch_range()
+        child_range = key.epoch_range()
+        assert parent_range.start <= child_range.start
+        assert child_range.end <= parent_range.end
+
+    @given(epochs_2013, st.sampled_from(list(TemporalResolution)[:-1]))
+    def test_children_tile_parent(self, epoch, res):
+        key = TimeKey.from_epoch(epoch, res)
+        kids = key.children()
+        total = sum(k.epoch_range().duration for k in kids)
+        assert total == pytest.approx(key.epoch_range().duration)
+        # Consecutive children abut exactly.
+        for a, b in zip(kids, kids[1:]):
+            assert a.epoch_range().end == b.epoch_range().start
+
+    @given(epochs_2013, resolutions, st.integers(-40, 40))
+    @settings(max_examples=60)
+    def test_step_inverse(self, epoch, res, n):
+        key = TimeKey.from_epoch(epoch, res)
+        assert key.step(n).step(-n) == key
+
+
+class TestTimeRange:
+    def test_empty_rejected(self):
+        with pytest.raises(TemporalError):
+            TimeRange(10, 10)
+
+    def test_intersection(self):
+        a, b = TimeRange(0, 10), TimeRange(5, 20)
+        assert a.intersection(b) == TimeRange(5, 10)
+        assert a.intersection(TimeRange(10, 20)) is None
+
+    def test_covering_keys_single_day(self):
+        day = TimeKey.of(2013, 7, 4).epoch_range()
+        keys = day.covering_keys(TemporalResolution.DAY)
+        assert [str(k) for k in keys] == ["2013-07-04"]
+
+    def test_covering_keys_span(self):
+        rng = TimeRange(
+            TimeKey.of(2013, 1, 30).epoch_range().start,
+            TimeKey.of(2013, 2, 2).epoch_range().end,
+        )
+        keys = rng.covering_keys(TemporalResolution.DAY)
+        assert [str(k) for k in keys] == [
+            "2013-01-30",
+            "2013-01-31",
+            "2013-02-01",
+            "2013-02-02",
+        ]
+
+    def test_from_keys(self):
+        keys = [TimeKey.of(2013, 3), TimeKey.of(2013, 5)]
+        rng = TimeRange.from_keys(keys)
+        assert rng.start == TimeKey.of(2013, 3).epoch_range().start
+        assert rng.end == TimeKey.of(2013, 5).epoch_range().end
+
+    def test_from_keys_empty(self):
+        with pytest.raises(TemporalError):
+            TimeRange.from_keys([])
+
+
+class TestVectorizedBinning:
+    @given(st.lists(epochs_2013, min_size=1, max_size=50), resolutions)
+    @settings(max_examples=40)
+    def test_bin_epochs_matches_scalar(self, values, res):
+        # Whole seconds only: sub-second values a float-ULP from a bin
+        # boundary may legitimately round either way (datetime rounds to
+        # microseconds, datetime64 truncates).
+        values = [float(int(v)) for v in values]
+        arr = np.array(values)
+        binned = bin_epochs(arr, res)
+        expected = [str(TimeKey.from_epoch(v, res)) for v in values]
+        assert binned.tolist() == expected
+
+    def test_bin_epochs_empty(self):
+        assert bin_epochs(np.array([]), TemporalResolution.DAY).size == 0

@@ -1,0 +1,204 @@
+"""Unit tests for clique identification, routing table, antipode selection."""
+
+import numpy as np
+import pytest
+
+from repro.config import FreshnessConfig
+from repro.core.cell import Cell
+from repro.core.freshness import FreshnessTracker
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.data.statistics import SummaryVector
+from repro.dht.partitioner import PrefixPartitioner
+from repro.errors import ReplicationError
+from repro.geo import geohash as gh
+from repro.geo.resolution import ResolutionSpace
+from repro.geo.temporal import TimeKey
+from repro.replication.antipode import antipode_candidates
+from repro.replication.clique import _ancestor_roots, top_cliques
+from repro.replication.routing import RoutingTable
+
+SPACE = ResolutionSpace(1, 8)
+DAY = TimeKey.of(2013, 2, 2)
+
+
+def make_cell(geohash, time_key=DAY):
+    return Cell(
+        key=CellKey(geohash, time_key),
+        summary=SummaryVector.from_arrays({"t": np.array([1.0])}),
+    )
+
+
+@pytest.fixture()
+def tracker():
+    return FreshnessTracker(FreshnessConfig(half_life=1e9))
+
+
+class TestAncestorRoots:
+    def test_depth_zero_is_self(self):
+        key = CellKey("9q8y7", DAY)
+        assert _ancestor_roots(key, 0) == [key]
+
+    def test_depth_one_includes_three_parents_and_self(self):
+        key = CellKey("9q8y7", DAY)
+        roots = _ancestor_roots(key, 1)
+        assert key in roots
+        assert CellKey("9q8y", DAY) in roots
+        assert CellKey("9q8y7", TimeKey.of(2013, 2)) in roots
+        assert len(roots) == 3  # both-axis parent is 2 steps, excluded
+
+    def test_depth_two_includes_diagonal(self):
+        key = CellKey("9q8y7", DAY)
+        roots = _ancestor_roots(key, 2)
+        assert CellKey("9q8y", TimeKey.of(2013, 2)) in roots
+        assert CellKey("9q8", DAY) in roots
+        assert CellKey("9q8y7", TimeKey.of(2013)) in roots
+
+
+class TestTopCliques:
+    def test_empty_graph(self, tracker):
+        graph = StashGraph(SPACE)
+        assert top_cliques(graph, tracker, 0.0, 2, 100, 4) == []
+
+    def test_zero_freshness_cells_ignored(self, tracker):
+        graph = StashGraph(SPACE)
+        graph.insert(make_cell("9q8y7"))
+        assert top_cliques(graph, tracker, 0.0, 2, 100, 4) == []
+
+    def test_hot_region_forms_clique(self, tracker):
+        graph = StashGraph(SPACE)
+        keys = []
+        for child in gh.children("9q8y")[:8]:
+            cell = make_cell(child)
+            graph.insert(cell)
+            keys.append(cell.key)
+        tracker.touch_cells(graph, keys, now=0.0)
+        cliques = top_cliques(graph, tracker, 1.0, depth=1, max_cells=100, top_k=2)
+        assert cliques
+        best = cliques[0]
+        assert best.root == CellKey("9q8y", DAY)
+        assert set(best.members) == set(keys)
+        assert best.cumulative_freshness == pytest.approx(8.0, rel=1e-3)
+
+    def test_budget_respected(self, tracker):
+        graph = StashGraph(SPACE)
+        keys = []
+        for child in gh.children("9q8y"):
+            cell = make_cell(child)
+            graph.insert(cell)
+            keys.append(cell.key)
+        tracker.touch_cells(graph, keys, now=0.0)
+        cliques = top_cliques(graph, tracker, 1.0, depth=1, max_cells=5, top_k=4)
+        assert sum(c.size for c in cliques) <= 5
+
+    def test_chosen_cliques_disjoint(self, tracker):
+        graph = StashGraph(SPACE)
+        keys = []
+        for parent in ("9q8y", "9q8z"):
+            for child in gh.children(parent)[:6]:
+                cell = make_cell(child)
+                graph.insert(cell)
+                keys.append(cell.key)
+        tracker.touch_cells(graph, keys, now=0.0)
+        cliques = top_cliques(graph, tracker, 1.0, depth=2, max_cells=1000, top_k=8)
+        seen = set()
+        for clique in cliques:
+            assert seen.isdisjoint(clique.members)
+            seen.update(clique.members)
+
+    def test_hotter_clique_ranked_first(self, tracker):
+        graph = StashGraph(SPACE)
+        cold_keys, hot_keys = [], []
+        for child in gh.children("9q8y")[:4]:
+            cell = make_cell(child)
+            graph.insert(cell)
+            cold_keys.append(cell.key)
+        for child in gh.children("dr5r")[:4]:
+            cell = make_cell(child)
+            graph.insert(cell)
+            hot_keys.append(cell.key)
+        tracker.touch_cells(graph, cold_keys, now=0.0)
+        for _ in range(5):
+            tracker.touch_cells(graph, hot_keys, now=0.0)
+        cliques = top_cliques(graph, tracker, 0.0, depth=1, max_cells=100, top_k=2)
+        assert cliques[0].root.geohash.startswith("dr5r")
+
+    def test_bad_params(self, tracker):
+        graph = StashGraph(SPACE)
+        with pytest.raises(ReplicationError):
+            top_cliques(graph, tracker, 0.0, -1, 10, 1)
+        with pytest.raises(ReplicationError):
+            top_cliques(graph, tracker, 0.0, 1, 0, 1)
+
+
+class TestRoutingTable:
+    def _footprint(self):
+        return [CellKey(c, DAY) for c in gh.children("9q8y")[:4]]
+
+    def test_validation(self):
+        with pytest.raises(ReplicationError):
+            RoutingTable(ttl=0, reroute_probability=0.5)
+        with pytest.raises(ReplicationError):
+            RoutingTable(ttl=10, reroute_probability=1.5)
+
+    def test_cover_requires_full_footprint(self):
+        table = RoutingTable(ttl=100, reroute_probability=1.0)
+        footprint = self._footprint()
+        table.add(footprint[0], "helper-1", frozenset(footprint[:2]), now=0.0)
+        assert table.helpers_covering(footprint, now=1.0) == []
+        table.add(footprint[2], "helper-1", frozenset(footprint[2:]), now=0.0)
+        assert table.helpers_covering(footprint, now=1.0) == ["helper-1"]
+
+    def test_ttl_expiry(self):
+        table = RoutingTable(ttl=10, reroute_probability=1.0)
+        footprint = self._footprint()
+        table.add(footprint[0], "helper-1", frozenset(footprint), now=0.0)
+        assert table.helpers_covering(footprint, now=5.0) == ["helper-1"]
+        assert table.helpers_covering(footprint, now=11.0) == []
+        assert len(table) == 0
+
+    def test_choose_reroute_probabilistic(self):
+        table = RoutingTable(ttl=100, reroute_probability=0.5)
+        footprint = self._footprint()
+        table.add(footprint[0], "helper-1", frozenset(footprint), now=0.0)
+        rng = np.random.default_rng(1)
+        picks = [table.choose_reroute(footprint, 1.0, rng) for _ in range(200)]
+        hits = sum(p == "helper-1" for p in picks)
+        assert 60 < hits < 140  # ~50%
+        assert all(p in (None, "helper-1") for p in picks)
+
+    def test_choose_reroute_zero_probability(self):
+        table = RoutingTable(ttl=100, reroute_probability=0.0)
+        footprint = self._footprint()
+        table.add(footprint[0], "h", frozenset(footprint), now=0.0)
+        rng = np.random.default_rng(1)
+        assert table.choose_reroute(footprint, 1.0, rng) is None
+
+    def test_empty_footprint_no_reroute(self):
+        table = RoutingTable(ttl=100, reroute_probability=1.0)
+        assert table.helpers_covering([], now=0.0) == []
+
+
+class TestAntipodeCandidates:
+    def test_candidates_exclude_self(self):
+        nodes = [f"n{i}" for i in range(8)]
+        part = PrefixPartitioner(nodes, 2)
+        rng = np.random.default_rng(3)
+        for code in ("9q8y", "dr5r", "u4pr"):
+            anti_node = part.node_for(gh.antipode(code))
+            candidates = antipode_candidates(code, part, exclude=anti_node, rng=rng, max_probes=16)
+            assert anti_node not in candidates
+
+    def test_first_candidate_is_antipode_owner(self):
+        nodes = [f"n{i}" for i in range(8)]
+        part = PrefixPartitioner(nodes, 2)
+        rng = np.random.default_rng(3)
+        candidates = antipode_candidates("9q8y", part, exclude="none", rng=rng, max_probes=8)
+        assert candidates[0] == part.node_for(gh.antipode("9q8y"))
+
+    def test_candidates_unique(self):
+        nodes = [f"n{i}" for i in range(4)]
+        part = PrefixPartitioner(nodes, 2)
+        rng = np.random.default_rng(3)
+        candidates = antipode_candidates("9q8y", part, exclude="n0", rng=rng, max_probes=32)
+        assert len(candidates) == len(set(candidates))

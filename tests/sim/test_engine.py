@@ -1,0 +1,260 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self, sim):
+        done = sim.timeout(5.0)
+        sim.run(until=done)
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value(self, sim):
+        assert sim.run(until=sim.timeout(1.0, value="hello")) == "hello"
+
+    def test_run_until_time(self, sim):
+        fired = []
+        sim.timeout(1.0).add_callback(lambda ev: fired.append(1))
+        sim.timeout(10.0).add_callback(lambda ev: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_past_raises(self, sim):
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_deterministic_tie_order(self, sim):
+        fired = []
+        for i in range(10):
+            sim.timeout(1.0).add_callback(lambda ev, i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+
+class TestProcesses:
+    def test_sequential_waits(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield sim.timeout(2.0)
+            trace.append(("mid", sim.now))
+            got = yield sim.timeout(3.0, value=42)
+            trace.append(("end", sim.now, got))
+            return "done"
+
+        result = sim.run(until=sim.process(proc()))
+        assert result == "done"
+        assert trace == [("start", 0.0), ("mid", 2.0), ("end", 5.0, 42)]
+
+    def test_process_waits_on_event(self, sim):
+        gate = sim.event()
+        results = []
+
+        def waiter():
+            value = yield gate
+            results.append((sim.now, value))
+
+        def opener():
+            yield sim.timeout(7.0)
+            gate.succeed("open")
+
+        sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert results == [(7.0, "open")]
+
+    def test_many_waiters_one_event(self, sim):
+        gate = sim.event()
+        hits = []
+
+        def waiter(i):
+            yield gate
+            hits.append(i)
+
+        for i in range(5):
+            sim.process(waiter(i))
+        gate.succeed()
+        sim.run()
+        assert sorted(hits) == [0, 1, 2, 3, 4]
+
+    def test_nested_processes(self, sim):
+        def inner():
+            yield sim.timeout(2.0)
+            return 10
+
+        def outer():
+            a = yield sim.process(inner())
+            b = yield sim.process(inner())
+            return a + b
+
+        assert sim.run(until=sim.process(outer())) == 20
+        assert sim.now == 4.0
+
+    def test_failed_event_raises_in_process(self, sim):
+        gate = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield gate
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        gate.fail(ValueError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_process_exception_propagates(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        sim.process(bad())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.run()
+
+    def test_process_failure_propagates_to_waiter(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner failure")
+
+        def outer():
+            try:
+                yield sim.process(bad())
+            except RuntimeError:
+                return "caught"
+            return "missed"
+
+        assert sim.run(until=sim.process(outer())) == "caught"
+
+    def test_yield_non_event_rejected(self, sim):
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_cross_simulator_event_rejected(self, sim):
+        other = Simulator()
+
+        def bad():
+            yield other.timeout(1.0)
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestEvents:
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(ValueError())
+
+    def test_value_before_trigger(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed(5)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [5]
+
+    def test_run_until_never_fired_event(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            sim.run(until=ev)
+
+
+class TestCombinators:
+    def test_all_of_values_in_order(self, sim):
+        events = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+        result = sim.run(until=sim.all_of(events))
+        assert result == ["c", "a", "b"]
+        assert sim.now == 3.0
+
+    def test_all_of_empty(self, sim):
+        assert sim.run(until=sim.all_of([])) == []
+
+    def test_all_of_fails_fast(self, sim):
+        gate = sim.event()
+
+        def failer():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child failed")
+
+        combo = sim.all_of([sim.process(failer()), gate])
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run(until=combo)
+
+    def test_any_of_first_wins(self, sim):
+        events = [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+        index, value = sim.run(until=sim.any_of(events))
+        assert (index, value) == (1, "fast")
+        assert sim.now == 1.0
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_clock_monotonic_and_total_time(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def proc():
+            for d in delays:
+                yield sim.timeout(d)
+                observed.append(sim.now)
+
+        sim.run(until=sim.process(proc()))
+        assert observed == sorted(observed)
+        assert sim.now == pytest.approx(sum(delays))
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=20)
+    def test_parallel_processes_end_at_max(self, n):
+        sim = Simulator()
+
+        def proc(i):
+            yield sim.timeout(float(i))
+            return i
+
+        done = sim.all_of([sim.process(proc(i)) for i in range(n)])
+        values = sim.run(until=done)
+        assert values == list(range(n))
+        assert sim.now == float(n - 1)

@@ -1,0 +1,126 @@
+"""Edge-case tests for the simulation engine beyond the basics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestPeekAndStep:
+    def test_peek_empty(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_time(self, sim):
+        sim.timeout(5.0)
+        sim.timeout(2.0)
+        assert sim.peek() == 2.0
+
+    def test_step_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_step_advances_one_event(self, sim):
+        fired = []
+        sim.timeout(1.0).add_callback(lambda e: fired.append(1))
+        sim.timeout(2.0).add_callback(lambda e: fired.append(2))
+        sim.step()
+        assert fired == [1]
+        assert sim.now == 1.0
+
+
+class TestZeroDelayOrdering:
+    def test_zero_delay_timeouts_fifo(self, sim):
+        order = []
+        for i in range(5):
+            sim.timeout(0.0).add_callback(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_succeed_schedules_at_current_time(self, sim):
+        times = []
+
+        def proc():
+            gate = sim.event()
+            gate.succeed("x")
+            value = yield gate
+            times.append((sim.now, value))
+
+        def outer():
+            yield sim.timeout(3.0)
+            yield sim.process(proc())
+
+        sim.run(until=sim.process(outer()))
+        assert times == [(3.0, "x")]
+
+
+class TestCombinatorEdges:
+    def test_any_of_with_failure_first(self, sim):
+        def failer():
+            yield sim.timeout(1.0)
+            raise ValueError("first")
+
+        combo = sim.any_of([sim.process(failer()), sim.timeout(2.0, "slow")])
+        with pytest.raises(ValueError):
+            sim.run(until=combo)
+
+    def test_any_of_success_beats_later_failure(self, sim):
+        def failer():
+            yield sim.timeout(5.0)
+            raise ValueError("late")
+
+        def guard():
+            # Swallow the late failure so it doesn't surface unhandled.
+            try:
+                yield failing
+            except ValueError:
+                pass
+
+        failing = sim.process(failer())
+        combo = sim.any_of([failing, sim.timeout(1.0, "fast")])
+        sim.process(guard())
+        index, value = sim.run(until=combo)
+        assert (index, value) == (1, "fast")
+        sim.run()
+
+    def test_all_of_single(self, sim):
+        assert sim.run(until=sim.all_of([sim.timeout(1.0, "a")])) == ["a"]
+
+    def test_nested_all_of(self, sim):
+        inner = sim.all_of([sim.timeout(1.0, 1), sim.timeout(2.0, 2)])
+        outer = sim.all_of([inner, sim.timeout(3.0, 3)])
+        assert sim.run(until=outer) == [[1, 2], 3]
+        assert sim.now == 3.0
+
+
+class TestProcessReturnValues:
+    def test_generator_return_none(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        assert sim.run(until=sim.process(proc())) is None
+
+    def test_immediate_return(self, sim):
+        def proc():
+            return 42
+            yield  # pragma: no cover
+
+        assert sim.run(until=sim.process(proc())) == 42
+
+    def test_deeply_nested_processes(self, sim):
+        def leaf(depth):
+            yield sim.timeout(0.001)
+            return depth
+
+        def recurse(depth):
+            if depth == 0:
+                result = yield sim.process(leaf(0))
+                return result
+            result = yield sim.process(recurse(depth - 1))
+            return result + 1
+
+        assert sim.run(until=sim.process(recurse(50))) == 50

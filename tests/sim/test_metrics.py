@@ -1,0 +1,94 @@
+"""Tests for metric collectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import CounterSet, LatencyCollector, ThroughputTimeline
+
+
+class TestLatencyCollector:
+    def test_basic_stats(self):
+        col = LatencyCollector()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            col.record(v)
+        assert len(col) == 4
+        assert col.mean() == 2.5
+        assert col.percentile(100) == 4.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyCollector().record(-1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            LatencyCollector().mean()
+        with pytest.raises(SimulationError):
+            LatencyCollector().percentile(50)
+
+    def test_summary_keys(self):
+        col = LatencyCollector()
+        col.record(1.0)
+        s = col.summary()
+        assert set(s) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+class TestThroughputTimeline:
+    def test_overall_rate(self):
+        tl = ThroughputTimeline()
+        for t in [1.0, 2.0, 4.0]:
+            tl.record_completion(t)
+        assert tl.total_duration() == 4.0
+        assert tl.overall_rate() == pytest.approx(3 / 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            ThroughputTimeline().total_duration()
+
+    def test_per_second_series(self):
+        tl = ThroughputTimeline()
+        for t in [0.1, 0.5, 1.2, 2.9, 2.95]:
+            tl.record_completion(t)
+        series = tl.per_second_series(1.0)
+        np.testing.assert_array_equal(series, [2, 1, 2])
+
+    def test_cumulative_series(self):
+        tl = ThroughputTimeline()
+        for t in [0.1, 1.5, 2.5]:
+            tl.record_completion(t)
+        np.testing.assert_array_equal(tl.cumulative_series(1.0), [1, 2, 3])
+
+    def test_empty_series(self):
+        assert ThroughputTimeline().per_second_series().size == 0
+
+    def test_bad_bin_width(self):
+        tl = ThroughputTimeline()
+        tl.record_completion(1.0)
+        with pytest.raises(SimulationError):
+            tl.per_second_series(0.0)
+
+
+class TestCounterSet:
+    def test_increment_and_get(self):
+        c = CounterSet()
+        c.increment("hits")
+        c.increment("hits", 4)
+        assert c.get("hits") == 5
+        assert c.get("misses") == 0
+
+    def test_ratio(self):
+        c = CounterSet()
+        c.increment("hits", 3)
+        c.increment("lookups", 4)
+        assert c.ratio("hits", "lookups") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        with pytest.raises(SimulationError):
+            CounterSet().ratio("a", "b")
+
+    def test_as_dict_copy(self):
+        c = CounterSet()
+        c.increment("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c.get("x") == 1

@@ -1,0 +1,140 @@
+"""Tests for Store and Resource."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource, Store
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(getter())
+        sim.run()
+        assert got == ["a"]
+        assert len(store) == 0
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def putter():
+            yield sim.timeout(4.0)
+            store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_order_items(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def getter():
+            while len(got) < 5:
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(getter())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_order_waiters(self, sim):
+        store = Store(sim)
+        got = []
+
+        def getter(i):
+            item = yield store.get()
+            got.append((i, item))
+
+        for i in range(3):
+            sim.process(getter(i))
+        sim.run()
+        assert store.waiting_getters == 3
+        for item in "abc":
+            store.put(item)
+        sim.run()
+        assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_len_is_pending_depth(self, sim):
+        store = Store(sim)
+        for i in range(7):
+            store.put(i)
+        assert len(store) == 7
+        assert store.total_puts == 7
+
+
+class TestResource:
+    def test_capacity_enforced(self, sim):
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker(i):
+            yield res.acquire()
+            active.append(i)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.remove(i)
+            res.release()
+
+        for i in range(6):
+            sim.process(worker(i))
+        sim.run()
+        assert max(peak) <= 2
+        assert sim.now == pytest.approx(3.0)  # 6 jobs / 2 slots * 1s
+
+    def test_bad_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_release_idle_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_queued_count(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run(until=1.0)
+        assert res.in_use == 1
+        assert res.queued == 3
+
+    def test_utilization(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield res.acquire()
+            yield sim.timeout(5.0)
+            res.release()
+            yield sim.timeout(5.0)
+
+        sim.run(until=sim.process(worker()))
+        assert res.utilization() == pytest.approx(0.5)

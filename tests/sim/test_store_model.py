@@ -1,0 +1,68 @@
+"""Model-based test: Store behaves as a FIFO queue under random ops."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Store
+
+#: Operations: ("put", value) or ("get",)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers()),
+        st.tuples(st.just("get")),
+    ),
+    max_size=60,
+)
+
+
+class TestStoreModel:
+    @given(operations)
+    @settings(max_examples=60)
+    def test_matches_reference_fifo(self, ops):
+        sim = Simulator()
+        store = Store(sim)
+        reference: list[int] = []
+        received: list[int] = []
+        expected: list[int] = []
+        outstanding_gets = 0
+
+        for op in ops:
+            if op[0] == "put":
+                store.put(op[1])
+                reference.append(op[1])
+            else:
+                outstanding_gets += 1
+
+                def getter():
+                    value = yield store.get()
+                    received.append(value)
+
+                sim.process(getter())
+
+        # Every get that can be satisfied pops the FIFO in order.
+        satisfiable = min(outstanding_gets, len(reference))
+        expected = reference[:satisfiable]
+        sim.run()
+        assert received == expected
+        # Leftover items stay queued; leftover getters stay waiting.
+        assert list(store.items) == reference[satisfiable:]
+        assert store.waiting_getters == outstanding_gets - satisfiable
+
+    @given(st.lists(st.integers(), max_size=40))
+    @settings(max_examples=40)
+    def test_put_then_drain_preserves_order(self, values):
+        sim = Simulator()
+        store = Store(sim)
+        for value in values:
+            store.put(value)
+        drained: list[int] = []
+
+        def drainer():
+            for _ in range(len(values)):
+                item = yield store.get()
+                drained.append(item)
+
+        sim.process(drainer())
+        sim.run()
+        assert drained == values

@@ -1,0 +1,153 @@
+"""Tests for the storage catalog and the scan kernel."""
+
+import numpy as np
+import pytest
+
+from repro.data.block import BlockId
+from repro.data.generator import small_test_dataset
+from repro.data.statistics import SummaryVector
+from repro.dht.partitioner import PrefixPartitioner
+from repro.errors import StorageError
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+from repro.storage.backend import StorageCatalog, ground_truth_cells, scan_blocks
+
+NODES = [f"node-{i}" for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return small_test_dataset(num_records=8_000)
+
+
+@pytest.fixture(scope="module")
+def catalog(batch):
+    cat = StorageCatalog(PrefixPartitioner(NODES, 2))
+    cat.ingest(batch)
+    return cat
+
+
+def make_query(box=None, resolution=None, day=(2013, 2, 2)):
+    return AggregationQuery(
+        bbox=box or BoundingBox(30, 45, -115, -95),
+        time_range=TimeKey.of(*day).epoch_range(),
+        resolution=resolution or Resolution(3, TemporalResolution.DAY),
+    )
+
+
+class TestCatalog:
+    def test_ingest_places_all_records(self, catalog, batch):
+        assert catalog.total_records == len(batch)
+        assert catalog.num_blocks > 1
+
+    def test_every_block_on_its_partition_node(self, catalog):
+        for node in NODES:
+            for block_id in catalog.blocks_on(node):
+                assert catalog.partitioner.node_for_partition(block_id.geohash) == node
+                assert catalog.node_of(block_id) == node
+
+    def test_reingest_merges(self, batch):
+        cat = StorageCatalog(PrefixPartitioner(NODES, 2))
+        half = len(batch) // 2
+        idx = np.arange(len(batch))
+        cat.ingest(batch.select(idx[:half]))
+        cat.ingest(batch.select(idx[half:]))
+        assert cat.total_records == len(batch)
+
+    def test_unknown_block(self, catalog):
+        with pytest.raises(StorageError):
+            catalog.node_of(BlockId("zz", "1999-01-01"))
+        assert catalog.get_block(BlockId("zz", "1999-01-01")) is None
+
+    def test_unknown_node(self, catalog):
+        with pytest.raises(StorageError):
+            catalog.blocks_on("ghost")
+
+    def test_blocks_for_query_overlap(self, catalog, batch):
+        query = make_query()
+        block_ids = catalog.blocks_for_query(query)
+        assert block_ids
+        snapped_box = query.snapped_bbox()
+        for block_id in block_ids:
+            assert block_id.day == "2013-02-02"
+            from repro.geo.geohash import bbox as geohash_bbox
+
+            assert geohash_bbox(block_id.geohash).intersects(snapped_box)
+
+    def test_blocks_for_query_complete(self, catalog, batch):
+        """Every record in the snapped extent lives in a selected block."""
+        query = make_query()
+        selected = set(catalog.blocks_for_query(query))
+        sub = batch.filter_bbox(query.snapped_bbox()).filter_time(
+            query.snapped_time_range()
+        )
+        from repro.data.block import partition_into_blocks
+
+        needed = partition_into_blocks(sub, 2)
+        assert set(needed).issubset(selected)
+
+    def test_blocks_by_node_plan(self, catalog):
+        block_ids = catalog.blocks_for_query(make_query())
+        plan = catalog.blocks_by_node(block_ids)
+        assert sum(len(v) for v in plan.values()) == len(block_ids)
+        for node, ids in plan.items():
+            for block_id in ids:
+                assert catalog.node_of(block_id) == node
+
+
+class TestScanKernel:
+    def test_scan_matches_ground_truth(self, catalog, batch):
+        query = make_query()
+        block_ids = catalog.blocks_for_query(query)
+        blocks = [catalog.get_block(b) for b in block_ids]
+        cells, stats = scan_blocks(blocks, query)
+        truth = ground_truth_cells(batch, query)
+        assert set(cells) == set(truth)
+        for key, vec in cells.items():
+            assert vec.approx_equal(truth[key])
+
+    def test_scan_stats(self, catalog):
+        query = make_query()
+        block_ids = catalog.blocks_for_query(query)
+        blocks = [catalog.get_block(b) for b in block_ids]
+        _, stats = scan_blocks(blocks, query)
+        assert stats.blocks_read == len(blocks)
+        assert stats.records_scanned == sum(len(b) for b in blocks)
+        assert stats.bytes_read == sum(b.nbytes for b in blocks)
+
+    def test_scan_empty_blocks(self, catalog):
+        query = make_query()
+        cells, stats = scan_blocks([], query)
+        assert cells == {} and stats.blocks_read == 0
+
+    def test_scan_respects_attribute_selection(self, catalog, batch):
+        query = AggregationQuery(
+            bbox=BoundingBox(30, 45, -115, -95),
+            time_range=TimeKey.of(2013, 2, 2).epoch_range(),
+            resolution=Resolution(3, TemporalResolution.DAY),
+            attributes=("temperature",),
+        )
+        block_ids = catalog.blocks_for_query(query)
+        blocks = [catalog.get_block(b) for b in block_ids]
+        cells, _ = scan_blocks(blocks, query)
+        vec = next(iter(cells.values()))
+        assert vec.attributes == ["temperature"]
+
+    def test_ground_truth_no_matches(self, batch):
+        query = make_query(day=(2013, 6, 6))  # outside February dataset
+        assert ground_truth_cells(batch, query) == {}
+
+    def test_cells_cover_full_cell_extents(self, catalog, batch):
+        """A cell's summary covers its whole extent, not just the query box."""
+        query = make_query(box=BoundingBox(34.9, 35.1, -105.1, -104.9))
+        block_ids = catalog.blocks_for_query(query)
+        blocks = [catalog.get_block(b) for b in block_ids]
+        cells, _ = scan_blocks(blocks, query)
+        for key, vec in cells.items():
+            sub = batch.filter_bbox(key.bbox).filter_time(key.time_range)
+            expected = SummaryVector.from_arrays(
+                {name: values for name, values in sub.attributes.items()}
+            )
+            assert vec.approx_equal(expected)

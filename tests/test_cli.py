@@ -1,0 +1,177 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasetCommand:
+    def test_prints_stats(self, capsys):
+        code = main(["dataset", "--records", "2000", "--days", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "records:    2,000" in out
+        assert "temperature" in out
+
+    def test_seed_changes_output(self, capsys):
+        main(["dataset", "--records", "2000", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["dataset", "--records", "2000", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestQueryCommand:
+    def test_basic_run(self, capsys):
+        code = main(
+            [
+                "query",
+                "--records", "5000",
+                "--nodes", "4",
+                "--spatial", "3",
+                "--repeat", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run 1:" in out and "run 2:" in out
+        assert "provenance" in out
+
+    def test_caching_visible_across_repeats(self, capsys):
+        main(
+            [
+                "query",
+                "--records", "5000",
+                "--nodes", "4",
+                "--spatial", "3",
+                "--repeat", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip().startswith("run")]
+        first_ms = float(lines[0].split()[2])
+        second_ms = float(lines[1].split()[2])
+        assert second_ms < first_ms
+
+    def test_engine_choices(self, capsys):
+        for engine in ("basic", "elastic"):
+            code = main(
+                [
+                    "query",
+                    "--engine", engine,
+                    "--records", "4000",
+                    "--nodes", "4",
+                    "--spatial", "3",
+                    "--repeat", "1",
+                ]
+            )
+            assert code == 0
+
+    def test_bad_box(self, capsys):
+        code = main(["query", "--box", "not-a-box"])
+        assert code == 2
+        assert "south,north,west,east" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "query",
+                "--records", "4000",
+                "--nodes", "4",
+                "--spatial", "3",
+                "--repeat", "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The JSON body starts at the first line-leading brace (earlier
+        # braces belong to the provenance dicts in the run lines).
+        body = out[out.rindex("\n{") + 1 :]
+        parsed = json.loads(body)
+        assert "cells" in parsed
+
+    def test_heatmap_output(self, capsys):
+        code = main(
+            [
+                "query",
+                "--records", "4000",
+                "--nodes", "4",
+                "--spatial", "3",
+                "--repeat", "1",
+                "--heatmap", "temperature",
+            ]
+        )
+        assert code == 0
+        assert "temperature (mean)" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_runs_unit_scale_experiment(self, capsys):
+        code = main(["experiment", "fig6c", "--scale", "unit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig6c" in out
+        assert "cells_populated" in out
+
+    def test_save_writes_files(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        code = main(["experiment", "fig6c", "--scale", "unit", "--save"])
+        assert code == 0
+        assert (tmp_path / "fig6c.txt").exists()
+        assert (tmp_path / "fig6c.json").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestTraceCommand:
+    def test_record_then_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        code = main(
+            [
+                "trace", "record", path,
+                "--workload", "hotspot",
+                "--requests", "10",
+            ]
+        )
+        assert code == 0
+        assert "wrote 10 queries" in capsys.readouterr().out
+        code = main(
+            [
+                "trace", "replay", path,
+                "--records", "5000",
+                "--nodes", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 10 queries on stash" in out
+        assert "mean latency" in out
+
+    def test_record_workload_kinds(self, tmp_path, capsys):
+        for kind in ("pan-cloud", "zipf"):
+            path = str(tmp_path / f"{kind}.jsonl")
+            assert main(
+                ["trace", "record", path, "--workload", kind, "--requests", "8"]
+            ) == 0
+
+    def test_replay_concurrent(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        main(["trace", "record", path, "--requests", "6"])
+        capsys.readouterr()
+        code = main(
+            [
+                "trace", "replay", path,
+                "--records", "5000",
+                "--nodes", "4",
+                "--concurrent",
+            ]
+        )
+        assert code == 0
+        assert "queries/s" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Tests for configuration dataclasses and the error hierarchy."""
+
+import dataclasses
+
+import pytest
+
+from repro import errors
+from repro.config import (
+    DEFAULT_CONFIG,
+    ClusterConfig,
+    CostModel,
+    EvictionConfig,
+    StashConfig,
+)
+
+
+class TestCostModel:
+    def test_disk_read_time_scales(self):
+        cost = CostModel()
+        small = cost.disk_read_time(1_000)
+        large = cost.disk_read_time(1_000_000)
+        assert large > small > cost.disk_seek
+
+    def test_data_scale_effect(self):
+        slow = CostModel(data_scale=128.0)
+        fast = CostModel(data_scale=1.0)
+        nbytes = 100_000
+        assert slow.disk_read_time(nbytes) > fast.disk_read_time(nbytes)
+        # Seek is unaffected by scale.
+        assert slow.disk_read_time(0) == fast.disk_read_time(0)
+
+    def test_network_time(self):
+        cost = CostModel()
+        assert cost.network_time(0) == cost.network_latency
+        assert cost.network_time(10**9) == pytest.approx(
+            cost.network_latency + 1.0
+        )
+
+
+class TestStashConfig:
+    def test_default_config_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONFIG.enable_replication = False  # type: ignore[misc]
+
+    def test_with_replaces_top_level(self):
+        config = StashConfig().with_(enable_replication=False)
+        assert config.enable_replication is False
+        assert StashConfig().enable_replication is True
+
+    def test_with_nested_replacement(self):
+        config = StashConfig().with_(
+            eviction=EvictionConfig(max_cells=7), cluster=ClusterConfig(num_nodes=3)
+        )
+        assert config.eviction.max_cells == 7
+        assert config.cluster.num_nodes == 3
+        # Untouched sections keep defaults.
+        assert config.cost == CostModel()
+
+    def test_block_precision_default_geq_partition(self):
+        cluster = ClusterConfig()
+        assert cluster.block_precision >= cluster.partition_precision
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_network_error_is_simulation_error(self):
+        assert issubclass(errors.NetworkError, errors.SimulationError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CacheError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("y")
+
+    def test_audit_error_in_hierarchy(self):
+        from repro.audit import AuditError
+
+        assert issubclass(AuditError, errors.ReproError)

@@ -1,0 +1,108 @@
+"""Property-based cross-system equivalence.
+
+The repository's master invariant: for ANY query, every engine variant
+returns the same aggregates as the single-threaded oracle.  Hypothesis
+drives random query rectangles, days, and resolutions at all three
+engines against one shared dataset.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.basic import BasicSystem
+from repro.baselines.elastic import ElasticSystem
+from repro.config import ClusterConfig, ElasticConfig, StashConfig
+from repro.core.cluster import StashCluster
+from repro.data.generator import small_test_dataset
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+from repro.storage.backend import ground_truth_cells
+
+DATASET = small_test_dataset(num_records=5_000, num_days=4)
+CONFIG = StashConfig(
+    cluster=ClusterConfig(num_nodes=5),
+    elastic=ElasticConfig(num_shards=10),
+)
+
+
+@st.composite
+def queries(draw):
+    south = draw(st.floats(15.0, 55.0))
+    west = draw(st.floats(-145.0, -65.0))
+    height = draw(st.floats(1.0, 8.0))
+    width = draw(st.floats(1.0, 10.0))
+    day = draw(st.integers(1, 4))
+    precision = draw(st.integers(2, 4))
+    temporal = draw(
+        st.sampled_from([TemporalResolution.DAY, TemporalResolution.HOUR])
+    )
+    return AggregationQuery(
+        bbox=BoundingBox(
+            south, min(90.0, south + height), west, min(180.0, west + width)
+        ),
+        time_range=TimeKey.of(2013, 2, day).epoch_range(),
+        resolution=Resolution(precision, temporal),
+    )
+
+
+def assert_equals_truth(result, query):
+    truth = ground_truth_cells(DATASET, query)
+    assert set(result.cells) == set(truth)
+    for key, vec in result.cells.items():
+        assert vec.approx_equal(truth[key])
+
+
+class TestCrossSystemEquivalence:
+    @given(queries())
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_basic_matches_oracle(self, query):
+        system = BasicSystem(DATASET, CONFIG)
+        assert_equals_truth(system.run_query(query), query)
+
+    @given(queries())
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_stash_cold_and_hot_match_oracle(self, query):
+        cluster = StashCluster(DATASET, CONFIG)
+        cold = cluster.run_query(query)
+        assert_equals_truth(cold, query)
+        cluster.drain()
+        hot = cluster.run_query(
+            AggregationQuery(
+                bbox=query.bbox,
+                time_range=query.time_range,
+                resolution=query.resolution,
+            )
+        )
+        assert_equals_truth(hot, query)
+        assert hot.matches(cold)
+
+    @given(queries())
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_elastic_matches_oracle(self, query):
+        system = ElasticSystem(DATASET, CONFIG)
+        assert_equals_truth(system.run_query(query), query)
+
+    @given(queries())
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_rollup_path_matches_oracle(self, query):
+        """Warm the finer level, then ask coarser: roll-up must be exact."""
+        if query.resolution.spatial >= 4:
+            query = query.at_resolution(
+                Resolution(3, query.resolution.temporal)
+            )
+        cluster = StashCluster(DATASET, CONFIG)
+        finer = AggregationQuery(
+            bbox=query.snapped_bbox(),
+            time_range=query.time_range,
+            resolution=Resolution(
+                query.resolution.spatial + 1, query.resolution.temporal
+            ),
+        )
+        cluster.warm([finer])
+        result = cluster.run_query(query)
+        assert_equals_truth(result, query)
+        if result.provenance["cells_from_rollup"] > 0:
+            assert result.provenance["cells_from_disk"] == 0
