@@ -5,7 +5,9 @@ Replays a recorded Zipf-skewed query trace (the kind of skew the paper's
 section V-A cites) against a STASH cluster, taking monitoring snapshots
 between waves: cache occupancy and balance, hit rate climbing as the
 collective cache builds, hotspot/replication activity, and disk traffic
-tapering off.
+tapering off.  The cluster also runs the periodic time-series sampler
+(``repro.obs.MetricsRegistry``), so the run ends with how the hit rate
+and queue depths *evolved*, not just where they landed.
 
 Run with::
 
@@ -28,6 +30,7 @@ from repro import (
     TemporalResolution,
     TimeKey,
 )
+from repro.config import ObservabilityConfig
 from repro.monitor import snapshot
 from repro.workload.hotspot import zipf_region_workload
 from repro.workload.trace import load_trace, replay_trace, save_trace
@@ -39,6 +42,9 @@ def main() -> None:
     ).generate()
     config = StashConfig(
         replication=ReplicationConfig(hotspot_queue_threshold=25, cooldown=0.5),
+        # Sample every gauge (queue depth, cache cells, hit rate, ...)
+        # every 100ms of simulated time.
+        observability=ObservabilityConfig(sample_interval=0.1),
     )
     cluster = StashCluster(dataset, config)
 
@@ -77,6 +83,25 @@ def main() -> None:
     final = snapshot(cluster)
     print(f"final hit rate: {final.cache_hit_rate():.1%} "
           f"(rises as the collective cache builds)")
+
+    # The registry's time series show the trajectory between snapshots.
+    hit = cluster.metrics.series["cluster.hit_rate"]
+    if len(hit):
+        print(
+            f"\nhit-rate series ({len(hit)} samples @ "
+            f"{config.observability.sample_interval}s): "
+            f"{hit.first():.1%} -> {hit.last():.1%}"
+        )
+        peak_queue = max(
+            (series.peak(), name)
+            for name, series in cluster.metrics.series.items()
+            if name.endswith(".queue_depth") and len(series)
+        )
+        print(f"peak queue depth: {peak_queue[0]:.0f} on {peak_queue[1].split('.')[0]}")
+        print()
+        print(cluster.metrics.format_table(
+            names=["cluster.hit_rate", "network.bytes_sent"], last=6
+        ))
 
 
 if __name__ == "__main__":

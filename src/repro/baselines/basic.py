@@ -34,7 +34,11 @@ class BasicNode(StorageNode):
         events = []
         for node_id, ids in sorted(plan.items()):
             if node_id == self.node_id:
-                events.append(self.sim.process(self.scan_locally(query, ids)))
+                events.append(
+                    self.sim.process(
+                        self.scan_locally(query, ids, parent=message.span)
+                    )
+                )
             else:
                 events.append(
                     self.network.request(
@@ -43,6 +47,7 @@ class BasicNode(StorageNode):
                         "scan",
                         {"query": query, "block_ids": ids},
                         size=1_024,
+                        parent=message.span,
                     )
                 )
         partials: list[dict[CellKey, SummaryVector]] = (
@@ -59,7 +64,18 @@ class BasicNode(StorageNode):
                     merged[key] = existing.merge(vec)
                     merges += 1
         if merges:
-            yield self.sim.timeout(merges * self.cost.cell_merge_cost)
+            cpu = merges * self.cost.cell_merge_cost
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "merge:partials",
+                    "compute",
+                    self.sim.now,
+                    self.sim.now + cpu,
+                    parent=message.span,
+                    node=self.node_id,
+                    attrs={"merges": merges},
+                )
+            yield self.sim.timeout(cpu)
         if query.polygon is not None:
             # Scans cover the polygon's bounding box; keep only the cells
             # of the polygonal footprint.
@@ -70,8 +86,11 @@ class BasicNode(StorageNode):
             {
                 "cells": merged,
                 "provenance": {
+                    "cells_from_cache": 0,
+                    "cells_from_rollup": 0,
                     "cells_from_disk": len(merged),
                     "disk_blocks_read": len(block_ids),
+                    "rerouted": 0,
                 },
             },
             size=len(merged) * self.cost.cell_wire_size,

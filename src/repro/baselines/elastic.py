@@ -40,6 +40,7 @@ from repro.data.statistics import SummaryVector, grouped_summaries
 from repro.geo.cover import covering_cells
 from repro.geo.geohash import encode_many
 from repro.geo.temporal import TemporalResolution, bin_epochs
+from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
 from repro.sim.engine import Event
 from repro.sim.network import Message
@@ -151,28 +152,52 @@ class ElasticNode(StorageNode):
     # -- shard-local scan ----------------------------------------------------
 
     def _scan_shards(
-        self, query: AggregationQuery
-    ) -> Generator[Event, Any, dict[CellKey, SummaryVector]]:
+        self, query: AggregationQuery, parent: Span | None = None
+    ) -> Generator[Event, Any, dict[str, Any]]:
+        """Scan this node's shards; returns ``{"cells", "stats"}``.
+
+        ``stats`` carries per-node provenance inputs: whether the request
+        cache answered (``request_cache_hit``), how many chunks went to
+        disk (``chunks_read``) and how many cells came back (``cells``).
+        """
         key = _request_key(query)
         cached = self._request_cache.get(key)
         yield self.sim.timeout(self.cost.cell_lookup_cost)
         if cached is not None:
             self._request_cache.move_to_end(key)
             self.counters.increment("request_cache_hits")
-            return dict(cached)
+            return {
+                "cells": dict(cached),
+                "stats": {
+                    "cells": len(cached),
+                    "request_cache_hit": 1,
+                    "chunks_read": 0,
+                },
+            }
         self.counters.increment("request_cache_misses")
 
+        span = self.tracer.begin(
+            "es:scan_shards",
+            "compute",
+            parent=parent,
+            node=self.node_id,
+            attrs={"shards": len(self.shards)},
+        )
         snapped_box = query.snapped_bbox()
         snapped_time = query.snapped_time_range()
         out: dict[CellKey, SummaryVector] = {}
         records = 0
+        chunks_read = 0
         for shard in self.shards:
             # Index walk: fixed overhead per shard per query.
             yield self.sim.timeout(self.cost.request_overhead)
             for chunk_id, chunk in shard.matching_chunks(query):
                 full_id = (shard.shard_id, *chunk_id)
                 if not self.page_cache.access(full_id):
-                    yield self.disk.read(chunk.nbytes)
+                    chunks_read += 1
+                    yield self.disk.read(
+                        chunk.nbytes, parent=span if span else parent
+                    )
                 sub = chunk.filter_bbox(snapped_box).filter_time(snapped_time)
                 records += len(sub)
                 if len(sub) == 0:
@@ -186,20 +211,43 @@ class ElasticNode(StorageNode):
                     out[cell_key] = vec if existing is None else existing.merge(vec)
         # Re-aggregation CPU over every matching document — paid on every
         # non-identical request; this is what STASH's cells amortize away.
-        yield self.sim.timeout(records * self.cost.scan_cost_per_record)
+        cpu = records * self.cost.scan_cost_per_record
+        if span is not None and cpu > 0:
+            self.tracer.record(
+                "es:aggregate",
+                "compute",
+                self.sim.now,
+                self.sim.now + cpu,
+                parent=span,
+                node=self.node_id,
+                attrs={"records": records},
+            )
+        yield self.sim.timeout(cpu)
         self.counters.increment("records_aggregated", records)
+        self.tracer.end(span)
 
         self._request_cache[key] = dict(out)
         if len(self._request_cache) > self.config.elastic.request_cache_entries:
             self._request_cache.popitem(last=False)
-        return out
+        return {
+            "cells": out,
+            "stats": {
+                "cells": len(out),
+                "request_cache_hit": 0,
+                "chunks_read": chunks_read,
+            },
+        }
 
     def _handle_es_scan(self, message: Message) -> Generator[Event, Any, None]:
         yield self.sim.timeout(self.cost.request_overhead)
         query: AggregationQuery = message.payload["query"]
-        cells = yield self.sim.process(self._scan_shards(query))
+        response = yield self.sim.process(
+            self._scan_shards(query, parent=message.span)
+        )
         self.network.respond(
-            message, cells, size=len(cells) * self.cost.cell_wire_size
+            message,
+            response,
+            size=len(response["cells"]) * self.cost.cell_wire_size,
         )
 
     # -- coordination --------------------------------------------------------
@@ -210,18 +258,34 @@ class ElasticNode(StorageNode):
         events = []
         for node_id in sorted(self.network.node_ids):
             if node_id == self.node_id:
-                events.append(self.sim.process(self._scan_shards(query)))
+                events.append(
+                    self.sim.process(
+                        self._scan_shards(query, parent=message.span)
+                    )
+                )
             elif node_id.startswith("node-"):
                 events.append(
                     self.network.request(
-                        self.node_id, node_id, "es_scan", {"query": query}, size=512
+                        self.node_id,
+                        node_id,
+                        "es_scan",
+                        {"query": query},
+                        size=512,
+                        parent=message.span,
                     )
                 )
         partials = yield self.sim.all_of(events)
         merged: dict[CellKey, SummaryVector] = {}
         merges = 0
-        for cells in partials:
-            for cell_key, vec in cells.items():
+        from_cache = from_disk = blocks_read = 0
+        for partial in partials:
+            stats = partial["stats"]
+            if stats["request_cache_hit"]:
+                from_cache += stats["cells"]
+            else:
+                from_disk += stats["cells"]
+            blocks_read += stats["chunks_read"]
+            for cell_key, vec in partial["cells"].items():
                 existing = merged.get(cell_key)
                 if existing is None:
                     merged[cell_key] = vec
@@ -229,13 +293,33 @@ class ElasticNode(StorageNode):
                     merged[cell_key] = existing.merge(vec)
                     merges += 1
         if merges:
-            yield self.sim.timeout(merges * self.cost.cell_merge_cost)
+            cpu = merges * self.cost.cell_merge_cost
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "merge:partials",
+                    "compute",
+                    self.sim.now,
+                    self.sim.now + cpu,
+                    parent=message.span,
+                    node=self.node_id,
+                    attrs={"merges": merges},
+                )
+            yield self.sim.timeout(cpu)
         if query.polygon is not None:
             wanted = set(query.footprint())
             merged = {k: v for k, v in merged.items() if k in wanted}
         self.network.respond(
             message,
-            {"cells": merged, "provenance": {"engine": 1}},
+            {
+                "cells": merged,
+                "provenance": {
+                    "cells_from_cache": from_cache,
+                    "cells_from_rollup": 0,
+                    "cells_from_disk": from_disk,
+                    "disk_blocks_read": blocks_read,
+                    "rerouted": 0,
+                },
+            },
             size=len(merged) * self.cost.cell_wire_size,
         )
 

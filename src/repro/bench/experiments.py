@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.bench.harness import (
     BenchScale,
     ExperimentResult,
+    attribution_fractions_of,
     bench_config,
     bench_dataset,
     make_system,
@@ -60,17 +61,24 @@ def fig6a_latency_by_query_size(scale: BenchScale) -> ExperimentResult:
     dataset = bench_dataset(scale)
     config = bench_config(scale)
     basic = make_system("basic", dataset, config)
+    per_series: dict[str, list] = {"basic": [], "stash_cold": [], "stash_hot": []}
     for size in SIZES:
         basic_lat = stash_cold_lat = stash_hot_lat = 0.0
         for repeat in range(scale.repeats):
             query = _query_for(scale, size, salt=101 * repeat)
-            basic_lat += basic.run_query(_clone(query)).latency
+            basic_result = basic.run_query(_clone(query))
+            basic_lat += basic_result.latency
+            per_series["basic"].append(basic_result)
             # Worst case: a fresh, empty STASH graph.
             stash = make_system("stash", dataset, config)
-            stash_cold_lat += stash.run_query(_clone(query)).latency
+            cold_result = stash.run_query(_clone(query))
+            stash_cold_lat += cold_result.latency
+            per_series["stash_cold"].append(cold_result)
             stash.drain()
             # Best case: every relevant cell already in memory.
-            stash_hot_lat += stash.run_query(_clone(query)).latency
+            hot_result = stash.run_query(_clone(query))
+            stash_hot_lat += hot_result.latency
+            per_series["stash_hot"].append(hot_result)
         label = size.value
         result.add("basic", label, basic_lat / scale.repeats)
         result.add("stash_cold", label, stash_cold_lat / scale.repeats)
@@ -79,6 +87,10 @@ def fig6a_latency_by_query_size(scale: BenchScale) -> ExperimentResult:
     base = result.series["basic"]
     result.meta["speedup_country"] = base["country"] / hot["country"]
     result.meta["speedup_state"] = base["state"] / hot["state"]
+    for series, series_results in per_series.items():
+        fractions = attribution_fractions_of(series_results)
+        if fractions:
+            result.meta[f"attribution_{series}"] = fractions
     return result
 
 
@@ -263,6 +275,8 @@ def fig7c_panning(scale: BenchScale) -> ExperimentResult:
     dataset = bench_dataset(scale)
     config = bench_config(scale)
     base = _query_for(scale, QuerySize.STATE, salt=31)
+    basic_results: list = []
+    stash_results: list = []
     for fraction in (0.10, 0.20, 0.25):
         label = f"pan{int(fraction * 100)}%"
         sequence = pan_sequence(base, fraction)
@@ -270,17 +284,23 @@ def fig7c_panning(scale: BenchScale) -> ExperimentResult:
         stash = make_system("stash", dataset, config)
         basic_total = stash_total = 0.0
         for index, query in enumerate(sequence):
-            basic_lat = basic.run_query(_clone(query)).latency
-            stash_lat = stash.run_query(_clone(query)).latency
+            basic_result = basic.run_query(_clone(query))
+            stash_result = stash.run_query(_clone(query))
             stash.drain()
             if index > 0:  # the 8 pans; the first query is the warm-up
-                basic_total += basic_lat
-                stash_total += stash_lat
+                basic_total += basic_result.latency
+                stash_total += stash_result.latency
+                basic_results.append(basic_result)
+                stash_results.append(stash_result)
         result.add("basic", label, basic_total / (len(sequence) - 1))
         result.add("stash", label, stash_total / (len(sequence) - 1))
         result.meta[f"reduction_{label}"] = 1.0 - (
             result.series["stash"][label] / result.series["basic"][label]
         )
+    for series, series_results in (("basic", basic_results), ("stash", stash_results)):
+        fractions = attribution_fractions_of(series_results)
+        if fractions:
+            result.meta[f"attribution_{series}"] = fractions
     return result
 
 
@@ -343,12 +363,21 @@ def fig8a_es_panning(scale: BenchScale) -> ExperimentResult:
     sequence = pan_sequence(base, 0.10)
     stash = make_system("stash", dataset, config)
     elastic = make_system("elastic", dataset, config)
+    stash_results: list = []
+    elastic_results: list = []
     for index, query in enumerate(sequence, start=1):
         label = f"q{index}"
         stash_result = stash.run_query(_clone(query))
         stash.drain()
+        stash_results.append(stash_result)
         result.add("stash", label, stash_result.latency)
-        result.add("elastic", label, elastic.run_query(_clone(query)).latency)
+        elastic_result = elastic.run_query(_clone(query))
+        elastic_results.append(elastic_result)
+        result.add("elastic", label, elastic_result.latency)
+    for series, series_results in (("stash", stash_results), ("elastic", elastic_results)):
+        fractions = attribution_fractions_of(series_results)
+        if fractions:
+            result.meta[f"attribution_{series}"] = fractions
     stash_rows = result.series["stash"]
     es_rows = result.series["elastic"]
     later = [label for label in stash_rows if label != "q1"]

@@ -24,6 +24,7 @@ from repro.config import (
     ClusterConfig,
     ElasticConfig,
     EvictionConfig,
+    ObservabilityConfig,
     ReplicationConfig,
     StashConfig,
 )
@@ -103,8 +104,27 @@ def bench_config(scale: BenchScale, **overrides: Any) -> StashConfig:
         eviction=EvictionConfig(max_cells=500_000),
         replication=ReplicationConfig(),
         elastic=ElasticConfig(num_shards=4 * scale.num_nodes),
+        # Benchmarks trace every query so result JSONs carry critical-path
+        # latency attribution (queueing/network/disk/compute fractions).
+        observability=ObservabilityConfig(trace=True),
     )
     return base.with_(**overrides) if overrides else base
+
+
+def attribution_fractions_of(results: list) -> dict[str, float]:
+    """Per-category latency fractions over a list of QueryResults.
+
+    Empty dict when no result carries an attribution (tracing off).
+    """
+    from repro.obs.critical_path import attribution_fractions
+    from repro.sim.metrics import AttributionCollector
+
+    collector = AttributionCollector()
+    for result in results:
+        collector.record(result.attribution)
+    if not len(collector):
+        return {}
+    return attribution_fractions(collector.totals())
 
 
 def make_system(kind: str, dataset: ObservationBatch, config: StashConfig):
@@ -158,6 +178,15 @@ class ExperimentResult:
                     ("-" if value is None else f"{value:.6g}").rjust(swidth)
                 )
             lines.append(label.ljust(width + 2) + "  ".join(cells))
-        if self.meta:
-            lines.append("meta: " + ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items())))
+        scalars = {k: v for k, v in self.meta.items() if not isinstance(v, dict)}
+        if scalars:
+            lines.append(
+                "meta: " + ", ".join(f"{k}={v}" for k, v in sorted(scalars.items()))
+            )
+        for key, value in sorted(self.meta.items()):
+            if isinstance(value, dict):
+                parts = ", ".join(
+                    f"{cat}={frac:.1%}" for cat, frac in sorted(value.items())
+                )
+                lines.append(f"{key}: {parts}")
         return "\n".join(lines)

@@ -80,10 +80,34 @@ def ascii_chart(result: ExperimentResult, width: int = 48) -> str:
     return "\n".join(lines)
 
 
+def attribution_summary(result: ExperimentResult) -> str:
+    """Per-series critical-path breakdown lines, if the run traced.
+
+    Reads the ``attribution_<series>`` meta entries experiments attach
+    (fractions per queueing/network/disk/compute category).
+    """
+    lines = []
+    for key, value in sorted(result.meta.items()):
+        if not key.startswith("attribution_") or not isinstance(value, dict):
+            continue
+        series = key[len("attribution_"):]
+        parts = "  ".join(
+            f"{cat}={frac:6.1%}" for cat, frac in sorted(value.items())
+        )
+        lines.append(f"{series:>12}: {parts}")
+    if not lines:
+        return ""
+    return "critical-path latency attribution:\n" + "\n".join(lines)
+
+
 def report(result: ExperimentResult) -> None:
     """Print and persist a result (stdout shows with pytest -s)."""
     print()
     print(result.format_table())
     print()
     print(ascii_chart(result))
+    summary = attribution_summary(result)
+    if summary:
+        print()
+        print(summary)
     save_result(result)

@@ -107,6 +107,44 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--days", type=int, default=3)
     rep.add_argument("--nodes", type=int, default=16)
     rep.add_argument("--concurrent", action="store_true")
+    exp = tr_sub.add_parser(
+        "export",
+        help="run a workload with tracing on; export a Chrome/Perfetto trace",
+    )
+    exp.add_argument("output", help="output trace JSON (load in ui.perfetto.dev)")
+    exp.add_argument("--engine", choices=("stash", "basic", "elastic"), default="stash")
+    exp.add_argument(
+        "--workload", choices=("pan-cloud", "hotspot", "zipf"), default="pan-cloud"
+    )
+    exp.add_argument(
+        "--size", choices=("country", "state", "county", "city"), default="county"
+    )
+    exp.add_argument("--requests", type=int, default=20)
+    exp.add_argument("--records", type=int, default=50_000)
+    exp.add_argument("--days", type=int, default=3)
+    exp.add_argument("--nodes", type=int, default=16)
+    exp.add_argument("--seed", type=int, default=42)
+    exp.add_argument("--concurrent", action="store_true")
+
+    mt = sub.add_parser(
+        "metrics", help="run a workload with periodic metric sampling"
+    )
+    mt.add_argument("--engine", choices=("stash", "basic", "elastic"), default="stash")
+    mt.add_argument(
+        "--workload", choices=("pan-cloud", "hotspot", "zipf"), default="pan-cloud"
+    )
+    mt.add_argument(
+        "--size", choices=("country", "state", "county", "city"), default="county"
+    )
+    mt.add_argument("--requests", type=int, default=20)
+    mt.add_argument("--records", type=int, default=50_000)
+    mt.add_argument("--days", type=int, default=3)
+    mt.add_argument("--nodes", type=int, default=16)
+    mt.add_argument("--seed", type=int, default=42)
+    mt.add_argument(
+        "--interval", type=float, default=0.25, help="sample period (simulated s)"
+    )
+    mt.add_argument("--json", metavar="PATH", help="also dump all series as JSON")
     return parser
 
 
@@ -212,47 +250,89 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _generate_workload(workload: str, size_name: str, requests: int, seed: int):
+    """Build the query list the ``trace``/``metrics`` commands run."""
     import numpy as np
 
     from repro.data.generator import NAM_DOMAIN
-    from repro.workload.trace import load_trace, replay_trace, save_trace
+    from repro.workload.hotspot import hotspot_workload, zipf_region_workload
+    from repro.workload.navigation import pan_cloud
+    from repro.workload.queries import QuerySize
 
-    if args.trace_command == "record":
-        from repro.workload.hotspot import hotspot_workload, zipf_region_workload
-        from repro.workload.navigation import pan_cloud
-        from repro.workload.queries import QuerySize
+    rng = np.random.default_rng(seed)
+    size = QuerySize(size_name)
+    if workload == "pan-cloud":
+        pans = 10
+        return pan_cloud(
+            rng, size, NAM_DOMAIN,
+            num_centers=max(1, requests // pans),
+            pans_per_center=pans,
+        )[:requests]
+    if workload == "hotspot":
+        return hotspot_workload(rng, NAM_DOMAIN, requests, size=size)
+    return zipf_region_workload(rng, NAM_DOMAIN, requests, size=size)
 
-        rng = np.random.default_rng(args.seed)
-        size = QuerySize(args.size)
-        if args.workload == "pan-cloud":
-            pans = 10
-            queries = pan_cloud(
-                rng, size, NAM_DOMAIN,
-                num_centers=max(1, args.requests // pans),
-                pans_per_center=pans,
-            )[: args.requests]
-        elif args.workload == "hotspot":
-            queries = hotspot_workload(rng, NAM_DOMAIN, args.requests, size=size)
-        else:
-            queries = zipf_region_workload(rng, NAM_DOMAIN, args.requests, size=size)
-        count = save_trace(queries, args.path)
-        print(f"wrote {count} queries to {args.path}")
-        return 0
 
-    # replay
+def _build_workload_system(args: argparse.Namespace, observability):
+    """Dataset + system for the observability commands."""
     from repro.bench.harness import make_system
     from repro.config import ClusterConfig, StashConfig
     from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
 
-    queries = load_trace(args.path)
     spec = DatasetSpec(
         num_records=args.records, start_day=(2013, 2, 1), num_days=args.days
     )
     dataset = SyntheticNAMGenerator(spec).generate()
-    system = make_system(
-        args.engine, dataset, StashConfig(cluster=ClusterConfig(num_nodes=args.nodes))
+    config = StashConfig(
+        cluster=ClusterConfig(num_nodes=args.nodes), observability=observability
     )
+    return make_system(args.engine, dataset, config)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workload.trace import load_trace, replay_trace, save_trace
+
+    if args.trace_command == "record":
+        queries = _generate_workload(
+            args.workload, args.size, args.requests, args.seed
+        )
+        count = save_trace(queries, args.path)
+        print(f"wrote {count} queries to {args.path}")
+        return 0
+
+    if args.trace_command == "export":
+        from repro.config import ObservabilityConfig
+        from repro.obs import attribution_fractions, write_chrome_trace
+
+        queries = _generate_workload(
+            args.workload, args.size, args.requests, args.seed
+        )
+        system = _build_workload_system(args, ObservabilityConfig(trace=True))
+        results = replay_trace(system, queries, concurrent=args.concurrent)
+        system.drain()
+        try:
+            write_chrome_trace(system.tracer, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"traced {len(results)} queries on {args.engine}: "
+            f"{len(system.tracer)} spans -> {args.output}"
+        )
+        if system.tracer.truncated:
+            print("warning: span cap hit; trace is truncated")
+        fractions = attribution_fractions(system.attributions.totals())
+        if any(fractions.values()):
+            print("critical-path latency attribution:")
+            for category, fraction in sorted(fractions.items()):
+                print(f"  {category:>9}: {fraction:7.2%}")
+        return 0
+
+    # replay
+    queries = load_trace(args.path)
+    from repro.config import ObservabilityConfig
+
+    system = _build_workload_system(args, ObservabilityConfig())
     results = replay_trace(system, queries, concurrent=args.concurrent)
     latencies = sorted(r.latency for r in results)
     total = system.timeline.total_duration()
@@ -261,6 +341,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"  p95 latency:  {latencies[int(0.95 * (len(latencies) - 1))] * 1e3:9.3f} ms")
     print(f"  makespan:     {total * 1e3:9.3f} ms "
           f"({len(results) / total:,.0f} queries/s)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.config import ObservabilityConfig
+    from repro.workload.trace import replay_trace
+
+    if args.interval <= 0:
+        print(f"error: --interval must be positive, got {args.interval}",
+              file=sys.stderr)
+        return 2
+    queries = _generate_workload(args.workload, args.size, args.requests, args.seed)
+    system = _build_workload_system(
+        args, ObservabilityConfig(sample_interval=args.interval)
+    )
+    results = replay_trace(system, queries)
+    system.drain()
+    print(
+        f"ran {len(results)} queries on {args.engine}; sampled every "
+        f"{args.interval}s of simulated time"
+    )
+    print(system.metrics.format_table())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(system.metrics.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote series to {args.json}")
     return 0
 
 
@@ -274,6 +382,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

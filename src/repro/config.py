@@ -157,6 +157,26 @@ class ElasticConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Query tracing and time-series metric sampling (repro.obs).
+
+    Both features are passive observers: enabling them never changes
+    simulated results, only records them.  Tracing is off by default so
+    the hot path stays allocation-free.
+    """
+
+    #: Record per-query span trees (enables latency attribution and the
+    #: Chrome-trace exporter).
+    trace: bool = False
+    #: Sample registered gauges every this many simulated seconds
+    #: (0 disables the periodic sampler).
+    sample_interval: float = 0.0
+    #: Hard cap on retained spans; beyond it new spans are dropped and
+    #: the tracer is marked truncated.
+    max_spans: int = 2_000_000
+
+
+@dataclass(frozen=True)
 class StashConfig:
     """Top-level configuration bundle for a STASH deployment."""
 
@@ -166,6 +186,7 @@ class StashConfig:
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     elastic: ElasticConfig = field(default_factory=ElasticConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     #: Enable the dynamic clique replication subsystem (RQ-3).
     enable_replication: bool = True
     #: Enable roll-up recomputation of missing coarse cells from cached

@@ -170,21 +170,33 @@ class StashCluster(DistributedSystem):
 
         started = self.sim.now
         coordinator = self.coordinator_for(query)
+        root = self.tracer.begin(
+            "query:cells", "compute", node=CLIENT_ID, query_id=query.query_id
+        )
         reply = yield self.network.request(
             CLIENT_ID,
             coordinator,
             "evaluate_cells",
             {"query": query, "cells": keys},
             size=256 + 32 * len(keys),
+            parent=root,
         )
         latency = self.sim.now - started
         self.latencies.record(latency)
         self.timeline.record_completion(self.sim.now)
+        attribution = None
+        if root is not None:
+            self.tracer.end(root)
+            from repro.obs.critical_path import attribute_span
+
+            attribution = attribute_span(root)
+            self.attributions.record(attribution)
         return QueryResult(
             query=query,
             cells=reply["cells"],
             latency=latency,
             provenance=reply.get("provenance", {}),
+            attribution=attribution,
         )
 
     # -- real-time updates (PLM path, paper IV-D) ------------------------------

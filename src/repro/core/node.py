@@ -30,6 +30,7 @@ from repro.data.block import BlockId
 from repro.data.statistics import SummaryVector
 from repro.dht.partitioner import Partitioner
 from repro.geo.resolution import ResolutionSpace
+from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
 from repro.replication.antipode import antipode_candidates
 from repro.replication.clique import top_cliques
@@ -245,7 +246,9 @@ class StashNode(StorageNode):
             # Replica incomplete (e.g. purged between routing and arrival):
             # fall back to a normal evaluation from here.
             self.counters.increment("guest_fallbacks")
-            response = yield from self._evaluate_core(query, footprint)
+            response = yield from self._evaluate_core(
+                query, footprint, parent=message.span
+            )
             response["provenance"]["rerouted"] = 1
             self.network.respond(
                 message,
@@ -263,6 +266,9 @@ class StashNode(StorageNode):
                 "provenance": {
                     "rerouted": 1,
                     "cells_from_cache": len(plan.cached),
+                    "cells_from_rollup": 0,
+                    "cells_from_disk": 0,
+                    "disk_blocks_read": 0,
                 },
             },
             size=len(cells) * self.cost.cell_wire_size,
@@ -273,7 +279,7 @@ class StashNode(StorageNode):
     # ------------------------------------------------------------------
 
     def _fetch_cells_impl(
-        self, payload: dict[str, Any]
+        self, payload: dict[str, Any], parent: Span | None = None
     ) -> Generator[Event, Any, dict[str, Any]]:
         keys: list[CellKey] = payload["cells"]
         ring: list[CellKey] = payload.get("ring", [])
@@ -283,10 +289,21 @@ class StashNode(StorageNode):
             self.attribute_names,
             attempt_rollup=self.config.enable_rollup,
         )
-        yield self.sim.timeout(
+        cpu = (
             plan.lookups * self.cost.cell_lookup_cost
             + plan.merges * self.cost.cell_merge_cost
         )
+        if self.tracer.enabled and cpu > 0:
+            self.tracer.record(
+                "fetch:plan",
+                "compute",
+                self.sim.now,
+                self.sim.now + cpu,
+                parent=parent,
+                node=self.node_id,
+                attrs={"lookups": plan.lookups, "merges": plan.merges},
+            )
+        yield self.sim.timeout(cpu)
         now = self.sim.now
         self.tracker.touch_cells(self.graph, keys, now)
         self.tracker.disperse_to_neighborhood(self.graph, ring, now)
@@ -305,7 +322,9 @@ class StashNode(StorageNode):
 
     def _handle_fetch_cells(self, message: Message) -> Generator[Event, Any, None]:
         yield self.sim.timeout(self.cost.request_overhead)
-        response = yield from self._fetch_cells_impl(message.payload)
+        response = yield from self._fetch_cells_impl(
+            message.payload, parent=message.span
+        )
         self.network.respond(
             message,
             response,
@@ -321,7 +340,18 @@ class StashNode(StorageNode):
             blocks = frozenset(self.catalog.blocks_for_cell(key))
             if self.graph.upsert(Cell(key=key, summary=summary), blocks):
                 inserted += 1
-        yield self.sim.timeout(inserted * self.cost.cell_insert_cost)
+        cpu = inserted * self.cost.cell_insert_cost
+        if self.tracer.enabled and cpu > 0:
+            self.tracer.record(
+                "populate:insert",
+                "compute",
+                self.sim.now,
+                self.sim.now + cpu,
+                parent=message.span,
+                node=self.node_id,
+                attrs={"cells": inserted},
+            )
+        yield self.sim.timeout(cpu)
         now = self.sim.now
         self.tracker.touch_cells(self.graph, list(cells), now)
         self.counters.increment("cells_populated", inserted)
@@ -351,10 +381,13 @@ class StashNode(StorageNode):
                     {"query": query},
                     size=512,
                     reply_to=message.reply_to,
+                    parent=message.span,
                 )
                 return
         yield self.sim.timeout(self.cost.request_overhead)
-        response = yield from self._evaluate_core(query, footprint)
+        response = yield from self._evaluate_core(
+            query, footprint, parent=message.span
+        )
         self.network.respond(
             message,
             response,
@@ -371,7 +404,7 @@ class StashNode(StorageNode):
         yield self.sim.timeout(self.cost.request_overhead)
         query: AggregationQuery = message.payload["query"]
         keys: list[CellKey] = message.payload["cells"]
-        response = yield from self._evaluate_core(query, keys)
+        response = yield from self._evaluate_core(query, keys, parent=message.span)
         self.counters.increment("partial_evaluations")
         self.network.respond(
             message,
@@ -380,7 +413,10 @@ class StashNode(StorageNode):
         )
 
     def _evaluate_core(
-        self, query: AggregationQuery, footprint: list[CellKey]
+        self,
+        query: AggregationQuery,
+        footprint: list[CellKey],
+        parent: Span | None = None,
     ) -> Generator[Event, Any, dict[str, Any]]:
         """Footprint -> owners -> cache plan -> scans -> populate."""
         ring = query_ring(query)
@@ -403,7 +439,9 @@ class StashNode(StorageNode):
                 "ring": ring_by_owner.get(owner, []),
             }
             if owner == self.node_id:
-                events.append(self.sim.process(self._fetch_cells_impl(payload)))
+                events.append(
+                    self.sim.process(self._fetch_cells_impl(payload, parent=parent))
+                )
             else:
                 events.append(
                     self.network.request(
@@ -412,6 +450,7 @@ class StashNode(StorageNode):
                         "fetch_cells",
                         payload,
                         size=len(payload["cells"]) * 32,
+                        parent=parent,
                     )
                 )
         responses = yield self.sim.all_of(events)
@@ -430,10 +469,13 @@ class StashNode(StorageNode):
             "cells_from_rollup": from_rollup,
             "cells_from_disk": 0,
             "disk_blocks_read": 0,
+            "rerouted": 0,
         }
 
         if missing:
-            new_cells = yield from self._resolve_missing(query, missing, provenance)
+            new_cells = yield from self._resolve_missing(
+                query, missing, provenance, parent=parent
+            )
             found.update(new_cells)
 
         cells = {key: vec for key, vec in found.items() if not vec.is_empty}
@@ -448,6 +490,7 @@ class StashNode(StorageNode):
         query: AggregationQuery,
         missing: list[CellKey],
         provenance: dict[str, int],
+        parent: Span | None = None,
     ) -> Generator[Event, Any, dict[CellKey, SummaryVector]]:
         """Scan the backing blocks of missing cells; populate async.
 
@@ -470,7 +513,9 @@ class StashNode(StorageNode):
         events = []
         for node_id, ids in sorted(plan.items()):
             if node_id == self.node_id:
-                events.append(self.sim.process(self.scan_locally(query, ids)))
+                events.append(
+                    self.sim.process(self.scan_locally(query, ids, parent=parent))
+                )
             else:
                 events.append(
                     self.network.request(
@@ -479,6 +524,7 @@ class StashNode(StorageNode):
                         "scan",
                         {"query": query, "block_ids": ids},
                         size=1_024,
+                        parent=parent,
                     )
                 )
         partials = (yield self.sim.all_of(events)) if events else []
@@ -494,7 +540,18 @@ class StashNode(StorageNode):
                     scanned[key] = existing.merge(vec)
                     merges += 1
         if merges:
-            yield self.sim.timeout(merges * self.cost.cell_merge_cost)
+            cpu = merges * self.cost.cell_merge_cost
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "merge:partials",
+                    "compute",
+                    self.sim.now,
+                    self.sim.now + cpu,
+                    parent=parent,
+                    node=self.node_id,
+                    attrs={"merges": merges},
+                )
+            yield self.sim.timeout(cpu)
 
         new_cells: dict[CellKey, SummaryVector] = {}
         for key in missing:
@@ -516,5 +573,6 @@ class StashNode(StorageNode):
                 "populate",
                 {"cells": cells},
                 size=len(cells) * self.cost.cell_wire_size,
+                parent=parent,
             )
         return new_cells

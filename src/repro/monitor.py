@@ -86,12 +86,14 @@ def snapshot(cluster) -> ClusterSnapshot:
     """Take a snapshot of a running (or finished) cluster system.
 
     Works for any :class:`~repro.system.DistributedSystem`; STASH-specific
-    fields (cells, guest) read as zero on systems without a graph.
+    fields (cells, guest) read as zero on systems without a graph.  Pure
+    inspection: snapshotting an unstarted cluster reports it empty rather
+    than booting its nodes.
     """
-    cluster.start()
+    nodes_map = getattr(cluster, "nodes", None) or {}
     nodes = []
-    for node_id in sorted(cluster.nodes):
-        node = cluster.nodes[node_id]
+    for node_id in sorted(nodes_map):
+        node = nodes_map[node_id]
         nodes.append(
             NodeSnapshot(
                 node_id=node_id,

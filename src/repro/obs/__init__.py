@@ -1,0 +1,38 @@
+"""Observability: query tracing, latency attribution, time-series metrics.
+
+This package is the instrumentation layer the rest of the repository
+reports into (see ``docs/observability.md``):
+
+- :mod:`repro.obs.tracer` — a dependency-free span tracer producing
+  per-query span trees over the simulated clock;
+- :mod:`repro.obs.critical_path` — critical-path analysis attributing
+  each query's end-to-end latency to queueing / network / disk / compute;
+- :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON export;
+- :mod:`repro.obs.registry` — a time-series metrics registry sampling
+  gauges on a fixed simulated-time grid.
+
+Everything here *observes* the simulation and never schedules events,
+so enabling tracing or sampling cannot change simulated results.
+"""
+
+from repro.obs.critical_path import (
+    ATTRIBUTION_CATEGORIES,
+    attribute_span,
+    attribution_fractions,
+)
+from repro.obs.export import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from repro.obs.registry import MetricsRegistry, TimeSeries
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "ATTRIBUTION_CATEGORIES",
+    "MetricsRegistry",
+    "Span",
+    "TimeSeries",
+    "Tracer",
+    "attribute_span",
+    "attribution_fractions",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

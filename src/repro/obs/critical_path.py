@@ -1,0 +1,76 @@
+"""Critical-path latency attribution over span trees.
+
+Answers the question the paper's figures keep asking: *where did the
+query's time go?*  Given a query's root span, the walk below attributes
+every simulated second of its duration to exactly one category —
+queueing, network, disk, or compute — along the **critical chain**: the
+sequence of child spans that actually determined when the parent
+finished.
+
+The algorithm (fork-join critical path): walk a span's children from the
+latest-finishing backwards.  The child that ends last is on the critical
+chain; its interval is attributed recursively, then the cursor moves to
+that child's start and the next-latest child still ending before the
+cursor is considered (children overlapping a later critical child are
+clipped — concurrent work hidden behind the last finisher contributed
+nothing to the latency).  Time inside the parent not covered by any
+critical child is the parent's *self time* and goes to the parent's own
+category.  By construction the attribution sums exactly to the root
+span's duration.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Span
+
+#: Every attribution maps these keys to seconds (summing to the latency).
+ATTRIBUTION_CATEGORIES = ("queueing", "network", "disk", "compute")
+
+
+def attribute_span(root: Span) -> dict[str, float]:
+    """Attribute a finished span's duration to the four categories.
+
+    Unfinished descendants (e.g. background population still in flight
+    when the reply arrived) are ignored; work outside ``[root.start,
+    root.end]`` is clipped away, so the values sum to ``root.duration``.
+    """
+    out = {category: 0.0 for category in ATTRIBUTION_CATEGORIES}
+    if root.end is None or root.end <= root.start:
+        return out
+    _walk(root, root.start, root.end, out)
+    return out
+
+
+def _walk(span: Span, start: float, end: float, out: dict[str, float]) -> None:
+    """Attribute the clipped interval ``[start, end]`` of ``span``."""
+    cursor = end
+    child_time = 0.0
+    finished = [child for child in span.children if child.end is not None]
+    for child in sorted(finished, key=lambda c: (c.end, c.start), reverse=True):
+        child_end = min(child.end, cursor)  # type: ignore[type-var]
+        child_start = max(child.start, start)
+        if child_end <= child_start:
+            continue  # hidden behind a later critical child, or out of range
+        _walk(child, child_start, child_end, out)
+        child_time += child_end - child_start
+        cursor = child_start
+        if cursor <= start:
+            break
+    self_time = (end - start) - child_time
+    if self_time > 0.0:
+        category = span.category if span.category in out else "compute"
+        out[category] += self_time
+
+
+def attribution_fractions(attribution: dict[str, float]) -> dict[str, float]:
+    """Normalize an attribution (seconds) to fractions summing to 1.
+
+    Returns all-zero fractions for an empty/zero attribution.
+    """
+    total = sum(attribution.values())
+    if total <= 0.0:
+        return {category: 0.0 for category in ATTRIBUTION_CATEGORIES}
+    return {
+        category: attribution.get(category, 0.0) / total
+        for category in ATTRIBUTION_CATEGORIES
+    }

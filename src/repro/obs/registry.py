@@ -1,0 +1,131 @@
+"""Time-series metrics registry: gauges sampled on a simulated-time grid.
+
+The point-in-time :func:`repro.monitor.snapshot` answers "what does the
+cluster look like *now*"; this registry answers "how did it get there" —
+per-node cache occupancy, queue depth, hit rate, freshness pressure and
+network bytes recorded every ``interval`` seconds of simulated time.
+
+Sampling is **passive**: instead of scheduling wake-up events (which
+would keep ``Simulator.run()`` from ever draining and could perturb
+event ordering), the registry registers a ``tick hook`` on the simulator
+and emits a sample whenever the clock crosses a grid point.  Samples are
+stamped at the grid time; the values are the state after the event that
+crossed it — for a discrete-event simulation that is the state that held
+for the whole preceding interval.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class TimeSeries:
+    """One named sequence of (simulated time, value) points."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, at: float, value: float) -> None:
+        self.times.append(at)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def last(self) -> float:
+        if not self.values:
+            raise SimulationError(f"series {self.name!r} has no samples")
+        return self.values[-1]
+
+    def first(self) -> float:
+        if not self.values:
+            raise SimulationError(f"series {self.name!r} has no samples")
+        return self.values[0]
+
+    def peak(self) -> float:
+        if not self.values:
+            raise SimulationError(f"series {self.name!r} has no samples")
+        return max(self.values)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "times": list(self.times), "values": list(self.values)}
+
+
+class MetricsRegistry:
+    """Named gauges + their sampled time series for one simulator."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self.series: dict[str, TimeSeries] = {}
+        self.interval = 0.0
+        self._next_sample: float | None = None
+        self._hooked = False
+
+    # -- registration ------------------------------------------------------
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register (or replace) a gauge; sampled on every grid crossing."""
+        self._gauges[name] = fn
+        self.series.setdefault(name, TimeSeries(name))
+
+    def record(self, name: str, value: float, at: float | None = None) -> None:
+        """Record one manual point outside the sampling grid."""
+        series = self.series.setdefault(name, TimeSeries(name))
+        series.record(self.sim.now if at is None else at, float(value))
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, at: float | None = None) -> None:
+        """Read every gauge once, stamping points at ``at`` (default: now)."""
+        stamp = self.sim.now if at is None else at
+        for name, fn in self._gauges.items():
+            self.series[name].record(stamp, float(fn()))
+
+    def start(self, interval: float) -> None:
+        """Begin periodic sampling every ``interval`` simulated seconds."""
+        if interval <= 0:
+            raise SimulationError(f"sample interval must be positive, got {interval}")
+        self.interval = interval
+        self._next_sample = self.sim.now + interval
+        if not self._hooked:
+            self.sim.tick_hooks.append(self._on_tick)
+            self._hooked = True
+
+    def stop(self) -> None:
+        """Stop periodic sampling (recorded series are kept)."""
+        if self._hooked:
+            self.sim.tick_hooks.remove(self._on_tick)
+            self._hooked = False
+        self._next_sample = None
+
+    def _on_tick(self, now: float) -> None:
+        while self._next_sample is not None and now >= self._next_sample:
+            self.sample(at=self._next_sample)
+            self._next_sample += self.interval
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form: series name -> {times, values}."""
+        return {name: series.to_dict() for name, series in sorted(self.series.items())}
+
+    def format_table(self, names: list[str] | None = None, last: int = 5) -> str:
+        """A small text table of the most recent samples per series."""
+        chosen = sorted(self.series) if names is None else names
+        width = max((len(name) for name in chosen), default=6)
+        lines = [f"{'series':>{width}}  {'n':>5}  last {last} samples"]
+        for name in chosen:
+            series = self.series.get(name)
+            if series is None or not len(series):
+                lines.append(f"{name:>{width}}  {0:>5}  (no samples)")
+                continue
+            tail = ", ".join(f"{v:.4g}" for v in series.values[-last:])
+            lines.append(f"{name:>{width}}  {len(series):>5}  {tail}")
+        return "\n".join(lines)

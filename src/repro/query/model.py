@@ -24,6 +24,22 @@ from repro.geo.temporal import TimeRange
 
 _query_ids = itertools.count()
 
+#: Canonical provenance vocabulary every engine's ``evaluate`` reply uses.
+#: - ``cells_from_cache``: result cells answered from an in-memory cache
+#:   (STASH graph / guest graph / ES request cache).
+#: - ``cells_from_rollup``: cells recomputed from cached finer-resolution
+#:   cells (STASH roll-up; always 0 for the baselines).
+#: - ``cells_from_disk``: cells that required scanning raw storage.
+#: - ``disk_blocks_read``: storage blocks (or ES chunks) fetched from disk.
+#: - ``rerouted``: 1 when a replica/guest graph served the query.
+PROVENANCE_KEYS = (
+    "cells_from_cache",
+    "cells_from_rollup",
+    "cells_from_disk",
+    "disk_blocks_read",
+    "rerouted",
+)
+
 
 @dataclass(frozen=True)
 class AggregationQuery:
@@ -167,9 +183,11 @@ class QueryResult:
     cells: dict[CellKey, SummaryVector]
     #: Simulated seconds the evaluation took end-to-end.
     latency: float = 0.0
-    #: Provenance counters: cells_from_cache, cells_from_rollup,
-    #: cells_from_disk, disk_blocks_read, rerouted, ...
+    #: Provenance counters; every engine emits :data:`PROVENANCE_KEYS`.
     provenance: dict[str, int] = field(default_factory=dict)
+    #: Critical-path latency attribution (seconds per category, summing
+    #: to ``latency``); None unless tracing was enabled for the run.
+    attribution: dict[str, float] | None = None
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -199,9 +217,13 @@ class QueryResult:
 
     def to_json_dict(self) -> dict:
         """JSON-serializable body for the visualization front-end."""
-        return {
+        out = {
             "query_id": self.query.query_id,
             "resolution": str(self.query.resolution),
             "latency": self.latency,
+            "provenance": dict(self.provenance),
             "cells": {str(key): vec.to_json_dict() for key, vec in self.cells.items()},
         }
+        if self.attribution is not None:
+            out["attribution"] = dict(self.attribution)
+        return out

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.config import CostModel
+from repro.obs.tracer import Span, Tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource
 
@@ -19,26 +20,56 @@ class Disk:
     """One node's disk."""
 
     def __init__(
-        self, sim: Simulator, cost: CostModel, node_id: str, channels: int = 2
+        self,
+        sim: Simulator,
+        cost: CostModel,
+        node_id: str,
+        channels: int = 2,
+        tracer: Tracer | None = None,
     ):
         self.sim = sim
         self.cost = cost
         self.node_id = node_id
+        self.tracer = tracer
         self._channel = Resource(sim, channels, name=f"disk:{node_id}")
         #: Totals for reporting.
         self.reads = 0
         self.bytes_read = 0
 
-    def read(self, nbytes: int) -> "Event":
+    def read(self, nbytes: int, parent: Span | None = None) -> "Event":
         """Process-event that completes when the read finishes."""
-        return self.sim.process(self._read(nbytes))
+        return self.sim.process(self._read(nbytes, parent))
 
-    def _read(self, nbytes: int) -> Generator[Event, Any, int]:
+    def _read(
+        self, nbytes: int, parent: Span | None = None
+    ) -> Generator[Event, Any, int]:
+        queued_at = self.sim.now
         yield self._channel.acquire()
         try:
             self.reads += 1
             self.bytes_read += nbytes
-            yield self.sim.timeout(self.cost.disk_read_time(nbytes))
+            dt = self.cost.disk_read_time(nbytes)
+            if self.tracer is not None and self.tracer.enabled:
+                now = self.sim.now
+                if now > queued_at:
+                    self.tracer.record(
+                        "disk:wait",
+                        "queueing",
+                        queued_at,
+                        now,
+                        parent=parent,
+                        node=self.node_id,
+                    )
+                self.tracer.record(
+                    "disk:read",
+                    "disk",
+                    now,
+                    now + dt,
+                    parent=parent,
+                    node=self.node_id,
+                    attrs={"bytes": nbytes},
+                )
+            yield self.sim.timeout(dt)
         finally:
             self._channel.release()
         return nbytes

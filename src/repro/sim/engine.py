@@ -220,6 +220,11 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0
+        #: Passive observers called as ``hook(now)`` after every processed
+        #: event.  Hooks must only *read* simulation state (metrics
+        #: sampling, progress reporting); scheduling from a hook would
+        #: break the determinism contract.
+        self.tick_hooks: list[Callable[[float], None]] = []
 
     # -- factory helpers ------------------------------------------------
 
@@ -261,6 +266,9 @@ class Simulator:
             raise event._exception
         for callback in callbacks:
             callback(event)
+        if self.tick_hooks:
+            for hook in self.tick_hooks:
+                hook(self.now)
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run until the schedule drains, a deadline, or an event fires.

@@ -7,7 +7,7 @@ and responses-per-second timelines (Fig 6d).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -104,11 +104,7 @@ class ThroughputTimeline:
 class CounterSet:
     """Named monotonically increasing counters (cache hits, disk reads...)."""
 
-    counts: dict[str, int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.counts is None:
-            self.counts = {}
+    counts: dict[str, int] = field(default_factory=dict)
 
     def increment(self, name: str, by: int = 1) -> None:
         self.counts[name] = self.counts.get(name, 0) + by
@@ -124,3 +120,62 @@ class CounterSet:
         if denom == 0:
             raise SimulationError(f"counter {denominator!r} is zero")
         return self.get(numerator) / denom
+
+
+class AttributionCollector:
+    """Accumulates per-query latency attributions (seconds per category).
+
+    The per-query dicts come from
+    :func:`repro.obs.critical_path.attribute_span`; this collector is the
+    attribution counterpart of :class:`LatencyCollector` — it aggregates
+    them into a run-level summary (mean seconds and overall fractions
+    per category) that benchmark results embed.
+    """
+
+    def __init__(self, name: str = "attribution"):
+        self.name = name
+        self._totals: dict[str, float] = {}
+        self._count = 0
+
+    def record(self, attribution: dict[str, float] | None) -> None:
+        """Add one query's attribution; ``None`` (tracing off) is a no-op."""
+        if attribution is None:
+            return
+        self._count += 1
+        for category, seconds in attribution.items():
+            if seconds < 0:
+                raise SimulationError(
+                    f"negative attribution {seconds} for {category!r}"
+                )
+            self._totals[category] = self._totals.get(category, 0.0) + seconds
+
+    def __len__(self) -> int:
+        return self._count
+
+    def totals(self) -> dict[str, float]:
+        """Cumulative seconds per category across all recorded queries."""
+        return dict(self._totals)
+
+    def mean_seconds(self) -> dict[str, float]:
+        if self._count == 0:
+            raise SimulationError("no attributions recorded")
+        return {k: v / self._count for k, v in self._totals.items()}
+
+    def fractions(self) -> dict[str, float]:
+        """Share of total attributed time per category (sums to 1)."""
+        total = sum(self._totals.values())
+        if total <= 0:
+            raise SimulationError("no attributed time recorded")
+        return {k: v / total for k, v in self._totals.items()}
+
+    def summary(self) -> dict[str, float]:
+        """LatencyCollector-style flat summary dict."""
+        out: dict[str, float] = {"count": float(self._count)}
+        if self._count:
+            for category, seconds in sorted(self.mean_seconds().items()):
+                out[f"mean_{category}"] = seconds
+        total = sum(self._totals.values())
+        if total > 0:
+            for category, fraction in sorted(self.fractions().items()):
+                out[f"fraction_{category}"] = fraction
+        return out

@@ -17,6 +17,7 @@ from typing import Any
 
 from repro.config import CostModel
 from repro.errors import NetworkError
+from repro.obs.tracer import Span, Tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Store
 
@@ -35,14 +36,19 @@ class Message:
     reply_to: "Event | None" = field(default=None, repr=False)
     #: Simulated enqueue time at the recipient.
     delivered_at: float = field(default=-1.0)
+    #: Trace context: the span receiver-side work should parent onto
+    #: (the rpc span for requests; rebound to the handler span at
+    #: dispatch).  None whenever tracing is off.
+    span: "Span | None" = field(default=None, repr=False, compare=False)
 
 
 class Network:
     """The cluster fabric: registry of node inboxes + cost accounting."""
 
-    def __init__(self, sim: Simulator, cost: CostModel):
+    def __init__(self, sim: Simulator, cost: CostModel, tracer: Tracer | None = None):
         self.sim = sim
         self.cost = cost
+        self.tracer = tracer if tracer is not None else Tracer(sim, enabled=False)
         self._inboxes: dict[str, Store] = {}
         self._ids = itertools.count()
         #: Totals for reporting.
@@ -81,6 +87,7 @@ class Network:
         payload: Any,
         size: int = 0,
         reply_to: Event | None = None,
+        parent: Span | None = None,
     ) -> Message:
         """Fire-and-forget delivery after the link cost elapses."""
         inbox = self.inbox(recipient)
@@ -96,6 +103,18 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += size
         delay = 0.0 if sender == recipient else self.cost.network_time(size)
+        if self.tracer.enabled:
+            message.span = parent
+            if delay > 0.0:
+                self.tracer.record(
+                    f"net:{kind}",
+                    "network",
+                    self.sim.now,
+                    self.sim.now + delay,
+                    parent=parent,
+                    node=sender,
+                    attrs={"to": recipient, "bytes": size},
+                )
 
         def deliver(_event: Event) -> None:
             message.delivered_at = self.sim.now
@@ -111,10 +130,28 @@ class Network:
         kind: str,
         payload: Any,
         size: int = 0,
+        parent: Span | None = None,
     ) -> Event:
         """RPC: send a message carrying a reply event; returns that event."""
         reply = Event(self.sim)
-        self.send(sender, recipient, kind, payload, size=size, reply_to=reply)
+        rpc = self.tracer.begin(
+            f"rpc:{kind}",
+            "network",
+            parent=parent,
+            node=sender,
+            attrs={"to": recipient},
+        )
+        self.send(
+            sender,
+            recipient,
+            kind,
+            payload,
+            size=size,
+            reply_to=reply,
+            parent=rpc if rpc is not None else parent,
+        )
+        if rpc is not None:
+            reply.add_callback(lambda _ev: self.tracer.end(rpc))
         return reply
 
     def respond(self, message: Message, value: Any, size: int = 0) -> None:
@@ -129,6 +166,16 @@ class Network:
             if message.sender == message.recipient
             else self.cost.network_time(size)
         )
+        if self.tracer.enabled and delay > 0.0:
+            self.tracer.record(
+                f"net:reply:{message.kind}",
+                "network",
+                self.sim.now,
+                self.sim.now + delay,
+                parent=message.span,
+                node=message.recipient,
+                attrs={"to": message.sender, "bytes": size},
+            )
         self.sim.timeout(delay).add_callback(lambda _ev: reply_event.succeed(value))
 
     def respond_error(self, message: Message, exception: BaseException) -> None:

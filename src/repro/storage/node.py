@@ -16,6 +16,7 @@ from repro.core.keys import CellKey
 from repro.data.block import Block, BlockId
 from repro.data.statistics import SummaryVector
 from repro.errors import StorageError
+from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
 from repro.sim.disk import Disk
 from repro.sim.engine import Event, Simulator
@@ -52,7 +53,8 @@ class StorageNode:
         self.config = config
         self.cost = config.cost
         self.inbox = network.register(node_id)
-        self.disk = Disk(sim, self.cost, node_id)
+        self.tracer = network.tracer
+        self.disk = Disk(sim, self.cost, node_id, tracer=network.tracer)
         self.counters = CounterSet()
         self._coord_queue = Store(sim, name=f"coord:{node_id}")
         self._service_queue = Store(sim, name=f"service:{node_id}")
@@ -102,6 +104,28 @@ class StorageNode:
                 return
             raise error
         self.counters.increment(f"handled:{message.kind}")
+        hspan: Span | None = None
+        if self.tracer.enabled:
+            now = self.sim.now
+            if 0.0 <= message.delivered_at < now:
+                self.tracer.record(
+                    f"queue:{message.kind}",
+                    "queueing",
+                    message.delivered_at,
+                    now,
+                    parent=message.span,
+                    node=self.node_id,
+                )
+            hspan = self.tracer.begin(
+                f"handle:{message.kind}",
+                "compute",
+                parent=message.span,
+                node=self.node_id,
+            )
+            if hspan is not None:
+                # Receiver-side work (disk reads, fan-out RPCs) parents
+                # onto the handler span, not the caller's rpc span.
+                message.span = hspan
         try:
             yield self.sim.process(handler(message))
         except Exception as exc:
@@ -113,6 +137,8 @@ class StorageNode:
                 self.network.respond_error(message, exc)
             else:
                 raise
+        finally:
+            self.tracer.end(hspan)
 
     def register_handler(self, kind: str, handler: Handler) -> None:
         self._handlers[kind] = handler
@@ -140,23 +166,47 @@ class StorageNode:
         return out
 
     def scan_locally(
-        self, query: AggregationQuery, block_ids: list[BlockId]
+        self,
+        query: AggregationQuery,
+        block_ids: list[BlockId],
+        parent: Span | None = None,
     ) -> Generator[Event, Any, dict[CellKey, SummaryVector]]:
         """Read + aggregate local blocks, charging disk and CPU time."""
+        span = self.tracer.begin(
+            "scan",
+            "compute",
+            parent=parent,
+            node=self.node_id,
+            attrs={"blocks": len(block_ids)},
+        )
         blocks = self.local_blocks(block_ids)
         for block in blocks:
-            yield self.disk.read(block.nbytes)
+            yield self.disk.read(block.nbytes, parent=span if span else parent)
         cells, stats = scan_blocks(blocks, query)
-        yield self.sim.timeout(stats.records_scanned * self.cost.scan_cost_per_record)
+        cpu = stats.records_scanned * self.cost.scan_cost_per_record
+        if span is not None and cpu > 0:
+            self.tracer.record(
+                "scan:aggregate",
+                "compute",
+                self.sim.now,
+                self.sim.now + cpu,
+                parent=span,
+                node=self.node_id,
+                attrs={"records": stats.records_scanned},
+            )
+        yield self.sim.timeout(cpu)
         self.counters.increment("blocks_scanned", stats.blocks_read)
         self.counters.increment("records_scanned", stats.records_scanned)
+        self.tracer.end(span)
         return cells
 
     def _handle_scan(self, message: Message) -> Generator[Event, Any, None]:
         yield self.sim.timeout(self.cost.request_overhead)
         query: AggregationQuery = message.payload["query"]
         block_ids: list[BlockId] = message.payload["block_ids"]
-        cells = yield self.sim.process(self.scan_locally(query, block_ids))
+        cells = yield self.sim.process(
+            self.scan_locally(query, block_ids, parent=message.span)
+        )
         self.network.respond(
             message, cells, size=len(cells) * self.cost.cell_wire_size
         )

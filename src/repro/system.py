@@ -19,9 +19,16 @@ from repro.config import DEFAULT_CONFIG, StashConfig
 from repro.data.observation import ObservationBatch
 from repro.dht.partitioner import PrefixPartitioner
 from repro.errors import QueryError
+from repro.obs.critical_path import attribute_span
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.query.model import AggregationQuery, QueryResult
 from repro.sim.engine import Event, Process, Simulator
-from repro.sim.metrics import LatencyCollector, ThroughputTimeline
+from repro.sim.metrics import (
+    AttributionCollector,
+    LatencyCollector,
+    ThroughputTimeline,
+)
 from repro.sim.network import Network
 from repro.storage.backend import StorageCatalog
 
@@ -49,10 +56,15 @@ class DistributedSystem(ABC):
         )
         self.catalog.ingest(dataset)
         self.attribute_names = dataset.attribute_names
-        self.network = Network(self.sim, config.cost)
+        obs = config.observability
+        self.tracer = Tracer(self.sim, enabled=obs.trace, max_spans=obs.max_spans)
+        self.network = Network(self.sim, config.cost, tracer=self.tracer)
         self.network.register(CLIENT_ID)
         self.latencies = LatencyCollector()
         self.timeline = ThroughputTimeline()
+        self.attributions = AttributionCollector()
+        self.metrics = MetricsRegistry(self.sim)
+        self.nodes: dict[str, Any] = {}
         self._nodes_started = False
 
     # -- subclass surface ---------------------------------------------------
@@ -66,6 +78,57 @@ class DistributedSystem(ABC):
         if not self._nodes_started:
             self._start_nodes()
             self._nodes_started = True
+            self._register_default_gauges()
+            interval = self.config.observability.sample_interval
+            if interval > 0:
+                self.metrics.start(interval)
+
+    def _register_default_gauges(self) -> None:
+        """Standard per-node and cluster-wide time series (repro.obs)."""
+        for node_id, node in sorted(self.nodes.items()):
+            self.metrics.gauge(
+                f"{node_id}.queue_depth", lambda n=node: float(n.pending_requests)
+            )
+            self.metrics.gauge(
+                f"{node_id}.disk_reads", lambda n=node: float(n.disk.reads)
+            )
+            graph = getattr(node, "graph", None)
+            if graph is not None:
+                max_cells = self.config.eviction.max_cells
+                self.metrics.gauge(
+                    f"{node_id}.cache_cells", lambda g=graph: float(len(g))
+                )
+                self.metrics.gauge(
+                    f"{node_id}.freshness_pressure",
+                    lambda g=graph, m=max_cells: len(g) / m,
+                )
+            guest = getattr(node, "guest", None)
+            if guest is not None:
+                self.metrics.gauge(
+                    f"{node_id}.guest_cells", lambda g=guest: float(len(g))
+                )
+        self.metrics.gauge(
+            "network.bytes_sent", lambda: float(self.network.bytes_sent)
+        )
+        self.metrics.gauge(
+            "network.messages_sent", lambda: float(self.network.messages_sent)
+        )
+        self.metrics.gauge("cluster.hit_rate", self._hit_rate)
+
+    def _hit_rate(self) -> float:
+        """Cache + roll-up serves over all cell resolutions so far."""
+        served = missed = 0
+        for node in self.nodes.values():
+            counters = getattr(node, "counters", None)
+            if counters is None:
+                continue
+            served += counters.get("cells_served_from_cache")
+            served += counters.get("cells_served_from_rollup")
+            served += counters.get("request_cache_hits")
+            missed += counters.get("cells_populated")
+            missed += counters.get("request_cache_misses")
+        total = served + missed
+        return served / total if total else 0.0
 
     # -- routing --------------------------------------------------------------
 
@@ -94,19 +157,33 @@ class DistributedSystem(ABC):
     ) -> Generator[Event, Any, QueryResult]:
         started = self.sim.now
         coordinator = self.coordinator_for(query)
+        root = self.tracer.begin(
+            "query", "compute", node=CLIENT_ID, query_id=query.query_id
+        )
         reply = yield self.network.request(
-            CLIENT_ID, coordinator, "evaluate", {"query": query}, size=512
+            CLIENT_ID,
+            coordinator,
+            "evaluate",
+            {"query": query},
+            size=512,
+            parent=root,
         )
         latency = self.sim.now - started
         self.latencies.record(latency)
         self.timeline.record_completion(self.sim.now)
         if not isinstance(reply, dict) or "cells" not in reply:
             raise QueryError(f"malformed evaluate reply: {reply!r}")
+        attribution = None
+        if root is not None:
+            self.tracer.end(root)
+            attribution = attribute_span(root)
+            self.attributions.record(attribution)
         return QueryResult(
             query=query,
             cells=reply["cells"],
             latency=latency,
             provenance=reply.get("provenance", {}),
+            attribution=attribution,
         )
 
     def run_query(self, query: AggregationQuery) -> QueryResult:

@@ -1,0 +1,125 @@
+"""Critical-path attribution on synthetic span trees."""
+
+import pytest
+
+from repro.obs.critical_path import (
+    ATTRIBUTION_CATEGORIES,
+    attribute_span,
+    attribution_fractions,
+)
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Simulator
+
+
+def make_tracer():
+    return Tracer(Simulator(), enabled=True)
+
+
+def test_leaf_span_goes_to_own_category():
+    tracer = make_tracer()
+    root = tracer.record("disk:read", "disk", 0.0, 2.0)
+    attribution = attribute_span(root)
+    assert attribution == {
+        "queueing": 0.0, "network": 0.0, "disk": 2.0, "compute": 0.0
+    }
+
+
+def test_serial_children_partition_the_parent():
+    tracer = make_tracer()
+    root = tracer.record("query", "compute", 0.0, 10.0)
+    tracer.record("net", "network", 0.0, 3.0, parent=root)
+    tracer.record("disk", "disk", 3.0, 7.0, parent=root)
+    # 7..10 uncovered -> root self time (compute).
+    attribution = attribute_span(root)
+    assert attribution["network"] == pytest.approx(3.0)
+    assert attribution["disk"] == pytest.approx(4.0)
+    assert attribution["compute"] == pytest.approx(3.0)
+    assert sum(attribution.values()) == pytest.approx(root.duration)
+
+
+def test_overlapping_children_clip_to_latest_finisher():
+    tracer = make_tracer()
+    root = tracer.record("query", "compute", 0.0, 10.0)
+    # Two concurrent scans; the slower one [0, 9] determines latency.
+    tracer.record("fast", "network", 0.0, 6.0, parent=root)
+    tracer.record("slow", "disk", 0.0, 9.0, parent=root)
+    attribution = attribute_span(root)
+    # Slow child owns [0, 9]; fast child is fully hidden behind it.
+    assert attribution["disk"] == pytest.approx(9.0)
+    assert attribution["network"] == pytest.approx(0.0)
+    assert attribution["compute"] == pytest.approx(1.0)
+    assert sum(attribution.values()) == pytest.approx(10.0)
+
+
+def test_partial_overlap_attributes_uncovered_prefix():
+    tracer = make_tracer()
+    root = tracer.record("query", "compute", 0.0, 10.0)
+    tracer.record("early", "network", 0.0, 5.0, parent=root)
+    tracer.record("late", "disk", 4.0, 10.0, parent=root)
+    attribution = attribute_span(root)
+    # late owns [4, 10]; early is clipped to [0, 4].
+    assert attribution["disk"] == pytest.approx(6.0)
+    assert attribution["network"] == pytest.approx(4.0)
+    assert attribution["compute"] == pytest.approx(0.0)
+
+
+def test_nested_tree_sums_to_root_duration():
+    tracer = make_tracer()
+    root = tracer.record("query", "compute", 0.0, 12.0)
+    rpc = tracer.record("rpc", "network", 1.0, 11.0, parent=root)
+    handle = tracer.record("handle", "compute", 2.0, 10.0, parent=rpc)
+    tracer.record("wait", "queueing", 2.0, 3.0, parent=handle)
+    tracer.record("disk", "disk", 3.0, 8.0, parent=handle)
+    attribution = attribute_span(root)
+    assert sum(attribution.values()) == pytest.approx(12.0)
+    assert attribution["queueing"] == pytest.approx(1.0)
+    assert attribution["disk"] == pytest.approx(5.0)
+    # rpc self time: [1,2] + [10,11]; root self: [0,1] + [11,12];
+    # handle self: [8,10] -> compute = 2 + 2 = 4, network = 2.
+    assert attribution["network"] == pytest.approx(2.0)
+    assert attribution["compute"] == pytest.approx(4.0)
+
+
+def test_unfinished_root_returns_zeros():
+    tracer = make_tracer()
+    root = tracer.begin("query", "compute")
+    attribution = attribute_span(root)
+    assert set(attribution) == set(ATTRIBUTION_CATEGORIES)
+    assert sum(attribution.values()) == 0.0
+
+
+def test_unfinished_children_are_ignored():
+    tracer = make_tracer()
+    root = tracer.record("query", "compute", 0.0, 5.0)
+    tracer.begin("populate", "compute", parent=root)  # still open
+    tracer.record("disk", "disk", 0.0, 2.0, parent=root)
+    attribution = attribute_span(root)
+    assert attribution["disk"] == pytest.approx(2.0)
+    assert attribution["compute"] == pytest.approx(3.0)
+
+
+def test_children_outside_root_window_are_clipped():
+    tracer = make_tracer()
+    root = tracer.record("query", "compute", 2.0, 6.0)
+    # Background work ending after the reply must not inflate the total.
+    tracer.record("late", "disk", 5.0, 9.0, parent=root)
+    attribution = attribute_span(root)
+    assert sum(attribution.values()) == pytest.approx(root.duration)
+    assert attribution["disk"] == pytest.approx(1.0)
+
+
+def test_unknown_category_counts_as_compute():
+    tracer = make_tracer()
+    root = tracer.record("query", "mystery", 0.0, 4.0)
+    attribution = attribute_span(root)
+    assert attribution["compute"] == pytest.approx(4.0)
+
+
+def test_fractions_normalize_and_handle_zero():
+    fractions = attribution_fractions({"disk": 3.0, "compute": 1.0})
+    assert fractions["disk"] == pytest.approx(0.75)
+    assert fractions["compute"] == pytest.approx(0.25)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    zeros = attribution_fractions({})
+    assert set(zeros) == set(ATTRIBUTION_CATEGORIES)
+    assert all(v == 0.0 for v in zeros.values())

@@ -1,0 +1,87 @@
+"""Chrome trace_event export: schema shape and file round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.export import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def traced():
+    tracer = Tracer(Simulator(), enabled=True)
+    root = tracer.record("query", "compute", 0.0, 0.010, node="client", query_id=0)
+    rpc = tracer.record("rpc:evaluate", "network", 0.0, 0.009, parent=root)
+    tracer.record(
+        "handle:evaluate", "compute", 0.001, 0.008,
+        parent=rpc, node="node-0", attrs={"cells": 4},
+    )
+    tracer.record("disk:read", "disk", 0.002, 0.006, parent=rpc, node="node-0")
+    tracer.begin("populate:insert", "compute", node="node-0")  # left open
+    return tracer
+
+
+def test_events_have_valid_phases_and_fields(traced):
+    events = chrome_trace_events(traced)
+    assert events, "expected events"
+    for event in events:
+        assert event["ph"] in {"X", "M"}
+        if event["ph"] == "X":
+            for field in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+                assert field in event
+            assert event["dur"] >= 0.0
+
+
+def test_unfinished_spans_are_skipped(traced):
+    events = chrome_trace_events(traced)
+    names = [e["name"] for e in events if e["ph"] == "X"]
+    assert "populate:insert" not in names
+    assert "disk:read" in names
+
+
+def test_timestamps_are_microseconds(traced):
+    events = chrome_trace_events(traced)
+    (disk,) = [e for e in events if e["name"] == "disk:read"]
+    assert disk["ts"] == pytest.approx(2_000.0)
+    assert disk["dur"] == pytest.approx(4_000.0)
+
+
+def test_nodes_map_to_processes_and_queries_to_threads(traced):
+    events = chrome_trace_events(traced)
+    meta = {e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"}
+    # Deterministic, sorted, 1-based pid assignment.
+    assert meta == {"client": 1, "node-0": 2}
+    (root,) = [e for e in events if e["name"] == "query"]
+    assert root["pid"] == meta["client"]
+    assert root["tid"] == 1  # query 0 -> lane 1
+    (handle,) = [e for e in events if e["name"] == "handle:evaluate"]
+    assert handle["pid"] == meta["node-0"]
+    assert handle["args"]["cells"] == 4
+    assert "parent_id" in handle["args"]
+
+
+def test_to_chrome_trace_shape(traced):
+    doc = to_chrome_trace(traced)
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["source"] == "repro.obs"
+    assert doc["otherData"]["spans"] == len(traced)
+    assert doc["otherData"]["truncated"] is False
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_write_chrome_trace_round_trips(traced, tmp_path):
+    out = write_chrome_trace(traced, tmp_path / "trace.json")
+    assert out.exists()
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert loaded["traceEvents"]
+    assert loaded == to_chrome_trace(traced)
+
+
+def test_empty_tracer_exports_empty_trace():
+    tracer = Tracer(Simulator(), enabled=True)
+    doc = to_chrome_trace(tracer)
+    assert doc["traceEvents"] == []
+    assert doc["otherData"]["spans"] == 0

@@ -1,0 +1,116 @@
+"""Metrics registry: grid sampling via simulator tick hooks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.registry import MetricsRegistry, TimeSeries
+from repro.sim.engine import Simulator
+
+
+def test_time_series_basics():
+    series = TimeSeries("x")
+    assert len(series) == 0
+    series.record(0.0, 1.0)
+    series.record(1.0, 3.0)
+    series.record(2.0, 2.0)
+    assert series.first() == 1.0
+    assert series.last() == 2.0
+    assert series.peak() == 3.0
+    assert series.to_dict() == {"name": "x", "times": [0.0, 1.0, 2.0], "values": [1.0, 3.0, 2.0]}
+
+
+def test_empty_series_accessors_raise():
+    series = TimeSeries("x")
+    for accessor in (series.first, series.last, series.peak):
+        with pytest.raises(SimulationError):
+            accessor()
+
+
+def test_start_requires_positive_interval():
+    registry = MetricsRegistry(Simulator())
+    with pytest.raises(SimulationError):
+        registry.start(0.0)
+    with pytest.raises(SimulationError):
+        registry.start(-1.0)
+
+
+def test_grid_sampling_stamps_grid_times():
+    sim = Simulator()
+    registry = MetricsRegistry(sim)
+    state = {"v": 0.0}
+    registry.gauge("v", lambda: state["v"])
+    registry.start(1.0)
+
+    def proc():
+        for step in range(5):
+            state["v"] = float(step)
+            yield sim.timeout(0.7)
+
+    sim.process(proc())
+    sim.run()
+    series = registry.series["v"]
+    # Events at 0.7, 1.4, 2.1, 2.8, 3.5 -> grid points 1, 2, 3 crossed.
+    assert series.times == [1.0, 2.0, 3.0]
+    # Samples carry the state *after* the event that crossed the grid
+    # point: t=1.4 sets v=2 then crosses 1.0; t=3.5 sets v=4, crossing 3.0.
+    assert series.values == [2.0, 3.0, 4.0]
+
+
+def test_large_jump_emits_every_crossed_grid_point():
+    sim = Simulator()
+    registry = MetricsRegistry(sim)
+    registry.gauge("one", lambda: 1.0)
+    registry.start(0.5)
+    sim.timeout(2.2)
+    sim.run()
+    assert registry.series["one"].times == [0.5, 1.0, 1.5, 2.0]
+
+
+def test_sampler_never_blocks_drain():
+    sim = Simulator()
+    registry = MetricsRegistry(sim)
+    registry.gauge("one", lambda: 1.0)
+    registry.start(0.25)
+    sim.timeout(1.0)
+    sim.run()  # must terminate: sampling is passive, no self-scheduling
+    assert sim.now == 1.0
+    assert len(registry.series["one"]) == 4
+
+
+def test_stop_halts_sampling_but_keeps_series():
+    sim = Simulator()
+    registry = MetricsRegistry(sim)
+    registry.gauge("one", lambda: 1.0)
+    registry.start(1.0)
+    sim.timeout(1.5)
+    sim.run()
+    registry.stop()
+    sim.timeout(5.0)
+    sim.run()
+    assert registry.series["one"].times == [1.0]
+    registry.stop()  # idempotent
+
+
+def test_manual_record_and_sample():
+    sim = Simulator()
+    registry = MetricsRegistry(sim)
+    registry.gauge("g", lambda: 7.0)
+    registry.record("manual", 42.0, at=3.0)
+    registry.sample()
+    assert registry.series["manual"].values == [42.0]
+    assert registry.series["manual"].times == [3.0]
+    assert registry.series["g"].values == [7.0]
+
+
+def test_format_table_and_to_dict():
+    sim = Simulator()
+    registry = MetricsRegistry(sim)
+    registry.gauge("full", lambda: 1.0)
+    registry.gauge("empty", lambda: 0.0)
+    registry.series["full"].record(0.0, 1.0)
+    table = registry.format_table()
+    assert "full" in table and "empty" in table
+    assert "(no samples)" in table
+    exported = registry.to_dict()
+    assert set(exported) == {"full", "empty"}
+    assert exported["full"]["values"] == [1.0]

@@ -1,0 +1,115 @@
+"""Unit tests for the span tracer."""
+
+from repro.obs.tracer import Span, Tracer
+from repro.sim.engine import Simulator
+
+
+def test_disabled_tracer_records_nothing():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=False)
+    span = tracer.begin("query", "compute")
+    assert span is None
+    tracer.end(span)  # no-op, no error
+    assert tracer.record("x", "disk", 0.0, 1.0) is None
+    assert len(tracer) == 0
+
+
+def test_begin_end_uses_simulated_clock():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    span = tracer.begin("query", "compute", node="client")
+    assert span is not None and span.start == 0.0 and span.end is None
+    assert span.duration == 0.0
+    sim.timeout(1.5)
+    sim.run()
+    tracer.end(span)
+    assert span.end == 1.5
+    assert span.duration == 1.5
+
+
+def test_end_is_idempotent():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    span = tracer.begin("query", "compute")
+    tracer.end(span)
+    first_end = span.end
+    sim.timeout(1.0)
+    sim.run()
+    tracer.end(span)
+    assert span.end == first_end
+
+
+def test_children_inherit_query_id_and_node():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    root = tracer.begin("query", "compute", node="client", query_id=7)
+    child = tracer.begin("rpc:evaluate", "network", parent=root)
+    grandchild = tracer.record("net:evaluate", "network", 0.0, 0.1, parent=child)
+    assert child.query_id == 7 and child.node == "client"
+    assert grandchild.query_id == 7
+    assert root.children == [child]
+    assert child.children == [grandchild]
+    assert list(root.walk()) == [root, child, grandchild]
+
+
+def test_explicit_node_overrides_inheritance():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    root = tracer.begin("query", "compute", node="client", query_id=3)
+    child = tracer.begin("handle", "compute", parent=root, node="node-1")
+    assert child.node == "node-1"
+    assert child.query_id == 3
+
+
+def test_max_spans_truncates():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True, max_spans=2)
+    a = tracer.begin("a", "compute")
+    b = tracer.begin("b", "compute")
+    c = tracer.begin("c", "compute")
+    assert a is not None and b is not None
+    assert c is None
+    assert tracer.truncated
+    assert len(tracer) == 2
+    tracer.end(c)  # dropped spans end as no-ops
+
+
+def test_roots_and_query_roots():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    q0 = tracer.begin("query", "compute", query_id=0)
+    tracer.begin("rpc", "network", parent=q0)
+    q1 = tracer.begin("query", "compute", query_id=1)
+    background = tracer.begin("janitor", "compute")
+    assert tracer.roots() == [q0, q1, background]
+    assert tracer.query_roots() == [q0, q1]
+    assert tracer.query_roots(query_id=1) == [q1]
+
+
+def test_structure_and_clear():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    root = tracer.begin("query", "compute", node="client", query_id=0)
+    tracer.end(root)
+    structure = tracer.structure()
+    assert structure == [("query", "compute", "client", 0, 0.0, 0.0, None)]
+    tracer.clear()
+    assert len(tracer) == 0 and not tracer.truncated
+
+
+def test_end_merges_attrs():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    span = tracer.begin("scan", "compute", attrs={"blocks": 3})
+    tracer.end(span, attrs={"records": 10})
+    assert span.attrs == {"blocks": 3, "records": 10}
+
+
+def test_span_repr_mentions_state():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    span = tracer.begin("scan", "compute", node="node-0")
+    assert "..." in repr(span)
+    tracer.end(span)
+    assert "ms" in repr(span)
+    assert isinstance(span, Span)

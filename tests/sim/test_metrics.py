@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.metrics import CounterSet, LatencyCollector, ThroughputTimeline
+from repro.sim.metrics import (
+    AttributionCollector,
+    CounterSet,
+    LatencyCollector,
+    ThroughputTimeline,
+)
 
 
 class TestLatencyCollector:
@@ -92,3 +97,49 @@ class TestCounterSet:
         d = c.as_dict()
         d["x"] = 99
         assert c.get("x") == 1
+
+    def test_instances_do_not_share_counts(self):
+        a = CounterSet()
+        b = CounterSet()
+        a.increment("x", 5)
+        assert b.get("x") == 0
+        assert a.counts is not b.counts
+
+
+class TestAttributionCollector:
+    def test_record_and_totals(self):
+        col = AttributionCollector()
+        col.record({"disk": 2.0, "compute": 1.0})
+        col.record({"disk": 1.0, "network": 1.0})
+        assert len(col) == 2
+        assert col.totals() == {"disk": 3.0, "compute": 1.0, "network": 1.0}
+        assert col.mean_seconds()["disk"] == pytest.approx(1.5)
+        assert col.fractions()["disk"] == pytest.approx(0.6)
+
+    def test_none_is_no_op(self):
+        col = AttributionCollector()
+        col.record(None)
+        assert len(col) == 0
+        assert col.totals() == {}
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            AttributionCollector().record({"disk": -0.1})
+
+    def test_empty_raises(self):
+        col = AttributionCollector()
+        with pytest.raises(SimulationError):
+            col.mean_seconds()
+        with pytest.raises(SimulationError):
+            col.fractions()
+
+    def test_summary_shape(self):
+        col = AttributionCollector()
+        col.record({"disk": 3.0, "compute": 1.0})
+        s = col.summary()
+        assert s["count"] == 1.0
+        assert s["mean_disk"] == pytest.approx(3.0)
+        assert s["fraction_compute"] == pytest.approx(0.25)
+
+    def test_empty_summary_only_count(self):
+        assert AttributionCollector().summary() == {"count": 0.0}
