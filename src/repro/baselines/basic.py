@@ -12,6 +12,7 @@ from typing import Any, Generator
 
 from repro.core.keys import CellKey
 from repro.data.statistics import SummaryVector
+from repro.faults.membership import RPC_FAILED
 from repro.query.model import AggregationQuery
 from repro.sim.engine import Event
 from repro.sim.network import Message
@@ -32,6 +33,7 @@ class BasicNode(StorageNode):
         block_ids = self.catalog.blocks_for_query(query)
         plan = self.catalog.blocks_by_node(block_ids)
         events = []
+        leg_blocks: list[int] = []
         for node_id, ids in sorted(plan.items()):
             if node_id == self.node_id:
                 events.append(
@@ -41,8 +43,7 @@ class BasicNode(StorageNode):
                 )
             else:
                 events.append(
-                    self.network.request(
-                        self.node_id,
+                    self.request_resilient(
                         node_id,
                         "scan",
                         {"query": query, "block_ids": ids},
@@ -50,12 +51,22 @@ class BasicNode(StorageNode):
                         parent=message.span,
                     )
                 )
+            leg_blocks.append(len(ids))
         partials: list[dict[CellKey, SummaryVector]] = (
             yield self.sim.all_of(events)
         ) if events else []
         merged: dict[CellKey, SummaryVector] = {}
         merges = 0
-        for cells in partials:
+        blocks_unread = 0
+        legs_failed = 0
+        for nblocks, cells in zip(leg_blocks, partials):
+            if cells is RPC_FAILED:
+                # The peer holding these blocks is gone: degrade rather
+                # than hang — its cells are simply missing from the answer.
+                legs_failed += 1
+                blocks_unread += nblocks
+                self.counters.increment("scan_legs_failed")
+                continue
             for key, vec in cells.items():
                 existing = merged.get(key)
                 if existing is None:
@@ -81,18 +92,23 @@ class BasicNode(StorageNode):
             # of the polygonal footprint.
             wanted = set(query.footprint())
             merged = {k: v for k, v in merged.items() if k in wanted}
+        response = {
+            "cells": merged,
+            "provenance": {
+                "cells_from_cache": 0,
+                "cells_from_rollup": 0,
+                "cells_from_disk": len(merged),
+                "disk_blocks_read": len(block_ids) - blocks_unread,
+                "rerouted": 0,
+            },
+        }
+        if legs_failed:
+            response["provenance"]["scan_legs_failed"] = legs_failed
+            response["completeness"] = 1.0 - blocks_unread / max(1, len(block_ids))
+            self.counters.increment("degraded_answers")
         self.network.respond(
             message,
-            {
-                "cells": merged,
-                "provenance": {
-                    "cells_from_cache": 0,
-                    "cells_from_rollup": 0,
-                    "cells_from_disk": len(merged),
-                    "disk_blocks_read": len(block_ids),
-                    "rerouted": 0,
-                },
-            },
+            response,
             size=len(merged) * self.cost.cell_wire_size,
         )
 
@@ -103,7 +119,12 @@ class BasicSystem(DistributedSystem):
     def _start_nodes(self) -> None:
         self.nodes = {
             node_id: BasicNode(
-                self.sim, self.network, self.catalog, node_id, self.config
+                self.sim,
+                self.network,
+                self.catalog,
+                node_id,
+                self.config,
+                membership=self.membership,
             )
             for node_id in self.node_ids
         }

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.keys import CellKey
 from repro.data.observation import ObservationBatch
 from repro.data.statistics import SummaryVector, grouped_summaries
+from repro.faults.membership import RPC_FAILED
 from repro.geo.cover import covering_cells
 from repro.geo.geohash import encode_many
 from repro.geo.temporal import TemporalResolution, bin_epochs
@@ -265,8 +266,7 @@ class ElasticNode(StorageNode):
                 )
             elif node_id.startswith("node-"):
                 events.append(
-                    self.network.request(
-                        self.node_id,
+                    self.request_resilient(
                         node_id,
                         "es_scan",
                         {"query": query},
@@ -278,7 +278,14 @@ class ElasticNode(StorageNode):
         merged: dict[CellKey, SummaryVector] = {}
         merges = 0
         from_cache = from_disk = blocks_read = 0
+        legs_failed = 0
         for partial in partials:
+            if partial is RPC_FAILED:
+                # A data node (and its shards) is unreachable: its slice
+                # of the corpus is missing from the answer.
+                legs_failed += 1
+                self.counters.increment("scan_legs_failed")
+                continue
             stats = partial["stats"]
             if stats["request_cache_hit"]:
                 from_cache += stats["cells"]
@@ -308,18 +315,25 @@ class ElasticNode(StorageNode):
         if query.polygon is not None:
             wanted = set(query.footprint())
             merged = {k: v for k, v in merged.items() if k in wanted}
+        response = {
+            "cells": merged,
+            "provenance": {
+                "cells_from_cache": from_cache,
+                "cells_from_rollup": 0,
+                "cells_from_disk": from_disk,
+                "disk_blocks_read": blocks_read,
+                "rerouted": 0,
+            },
+        }
+        if legs_failed:
+            # Shards are hash-routed, so a lost node leg loses an
+            # (approximately) proportional slice of every query.
+            response["provenance"]["scan_legs_failed"] = legs_failed
+            response["completeness"] = 1.0 - legs_failed / max(1, len(events))
+            self.counters.increment("degraded_answers")
         self.network.respond(
             message,
-            {
-                "cells": merged,
-                "provenance": {
-                    "cells_from_cache": from_cache,
-                    "cells_from_rollup": 0,
-                    "cells_from_disk": from_disk,
-                    "disk_blocks_read": blocks_read,
-                    "rerouted": 0,
-                },
-            },
+            response,
             size=len(merged) * self.cost.cell_wire_size,
         )
 
@@ -354,6 +368,7 @@ class ElasticSystem(DistributedSystem):
                 self.catalog,
                 node_id,
                 self.config,
+                membership=self.membership,
                 shards=by_node[node_id],
             )
             for node_id in self.node_ids

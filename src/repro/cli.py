@@ -19,9 +19,10 @@ from repro.bench.harness import BenchScale, ExperimentResult
 
 #: Experiment registry: name -> zero-arg-beyond-scale callable.
 def _experiment_registry() -> dict[str, Callable[[BenchScale], ExperimentResult]]:
-    from repro.bench import ablations, experiments
+    from repro.bench import ablations, experiments, faults
 
     return {
+        "fault-recovery": faults.fault_crash_recovery,
         "fig6a": experiments.fig6a_latency_by_query_size,
         "fig6b": experiments.fig6b_throughput,
         "fig6c": experiments.fig6c_maintenance,
@@ -125,6 +126,43 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--nodes", type=int, default=16)
     exp.add_argument("--seed", type=int, default=42)
     exp.add_argument("--concurrent", action="store_true")
+
+    fa = sub.add_parser(
+        "faults", help="validate or replay a fault-injection schedule"
+    )
+    fa_sub = fa.add_subparsers(dest="faults_command", required=True)
+    val = fa_sub.add_parser("validate", help="parse and sanity-check a schedule")
+    val.add_argument("path", help="fault schedule JSON file")
+    frun = fa_sub.add_parser(
+        "run", help="run a workload open-loop under a fault schedule"
+    )
+    frun.add_argument("path", help="fault schedule JSON file")
+    frun.add_argument(
+        "--engine", choices=("stash", "basic", "elastic"), default="stash"
+    )
+    frun.add_argument(
+        "--workload", choices=("pan-cloud", "hotspot", "zipf"), default="hotspot"
+    )
+    frun.add_argument(
+        "--size", choices=("country", "state", "county", "city"), default="county"
+    )
+    frun.add_argument("--requests", type=int, default=60)
+    frun.add_argument("--records", type=int, default=50_000)
+    frun.add_argument("--days", type=int, default=3)
+    frun.add_argument("--nodes", type=int, default=16)
+    frun.add_argument("--seed", type=int, default=42)
+    frun.add_argument(
+        "--rate", type=float, default=2.0, help="arrivals per simulated second"
+    )
+    frun.add_argument(
+        "--rpc-timeout", type=float, default=0.35, help="per-leg RPC timeout (s)"
+    )
+    frun.add_argument(
+        "--evaluate-timeout",
+        type=float,
+        default=1.5,
+        help="client-side whole-query timeout (s)",
+    )
 
     mt = sub.add_parser(
         "metrics", help="run a workload with periodic metric sampling"
@@ -344,6 +382,72 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.errors import FaultError
+    from repro.faults.schedule import FaultSchedule
+
+    try:
+        schedule = FaultSchedule.load(args.path)
+    except FaultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.faults_command == "validate":
+        print(f"{args.path}: {len(schedule)} events, valid")
+        for event in schedule:
+            window = "" if event.until is None else f" until t={event.until}"
+            target = event.node or f"{event.src or '*'}->{event.dst or '*'}"
+            print(f"  t={event.at:<8g} {event.kind:<10} {target}{window}")
+        return 0
+
+    # run
+    from repro.config import ClusterConfig, FaultConfig, StashConfig
+    from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
+
+    queries = _generate_workload(args.workload, args.size, args.requests, args.seed)
+    spec = DatasetSpec(
+        num_records=args.records, start_day=(2013, 2, 1), num_days=args.days
+    )
+    dataset = SyntheticNAMGenerator(spec).generate()
+    config = StashConfig(
+        cluster=ClusterConfig(num_nodes=args.nodes),
+        faults=FaultConfig(
+            enabled=True,
+            rpc_timeout=args.rpc_timeout,
+            evaluate_timeout=args.evaluate_timeout,
+            schedule=tuple(schedule),
+        ),
+    )
+    from repro.bench.harness import make_system
+
+    system = make_system(args.engine, dataset, config)
+    try:
+        results = system.run_open_loop(queries, args.rate, seed=args.seed)
+    except FaultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    system.drain()
+    degraded = [r for r in results if r.degraded]
+    latencies = sorted(r.latency for r in results)
+    print(f"ran {len(results)}/{len(queries)} queries on {args.engine} "
+          f"under {len(schedule)} fault events")
+    print(f"  mean latency:     {sum(latencies) / len(latencies) * 1e3:9.3f} ms")
+    print(f"  p95 latency:      "
+          f"{latencies[int(0.95 * (len(latencies) - 1))] * 1e3:9.3f} ms")
+    print(f"  degraded answers: {len(degraded)}")
+    if degraded:
+        print(f"  min completeness: {min(r.completeness for r in degraded):.3f}")
+    print(f"  messages dropped: {system.network.messages_dropped}")
+    print(f"  failovers:        {system.membership.failovers}")
+    if system.fault_injector is not None:
+        for at, description in system.fault_injector.applied:
+            print(f"  applied t={at:<10.3f} {description}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.config import ObservabilityConfig
     from repro.workload.trace import replay_trace
@@ -382,6 +486,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")

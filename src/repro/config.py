@@ -177,6 +177,40 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection and failure recovery (repro.faults).
+
+    With ``enabled`` false and an empty ``schedule`` the fault layer is
+    completely inert: no timers, no extra simulation events, and every
+    RPC takes the exact pre-fault code path, so results are bit-identical
+    to a build without the layer.
+    """
+
+    #: Master switch for timeout/retry/failover on RPCs.  Automatically
+    #: considered on when a schedule is present (see :attr:`active`).
+    enabled: bool = False
+    #: Coordinator-side timeout for one leg of fetch_cells / populate /
+    #: scan / clique RPCs (simulated seconds).
+    rpc_timeout: float = 5.0
+    #: Client-side timeout for a whole evaluate round trip.
+    evaluate_timeout: float = 30.0
+    #: Retries after the first attempt before declaring the peer dead.
+    max_retries: int = 2
+    #: Backoff before retry ``i`` is ``backoff_base * backoff_multiplier**i``.
+    backoff_base: float = 0.5
+    backoff_multiplier: float = 2.0
+    #: Fault events to inject: a tuple of
+    #: :class:`repro.faults.schedule.FaultEvent` (typed loosely so the
+    #: config module does not import repro.faults).
+    schedule: tuple = ()
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault machinery should run at all."""
+        return self.enabled or bool(self.schedule)
+
+
+@dataclass(frozen=True)
 class StashConfig:
     """Top-level configuration bundle for a STASH deployment."""
 
@@ -187,6 +221,7 @@ class StashConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     elastic: ElasticConfig = field(default_factory=ElasticConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: Enable the dynamic clique replication subsystem (RQ-3).
     enable_replication: bool = True
     #: Enable roll-up recomputation of missing coarse cells from cached

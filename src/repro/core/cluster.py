@@ -54,6 +54,7 @@ class StashCluster(DistributedSystem):
                 space=self.space,
                 attribute_names=self.attribute_names,
                 node_index=index,
+                membership=self.membership,
             )
             self.nodes[node_id] = node
             node.start()
@@ -197,6 +198,7 @@ class StashCluster(DistributedSystem):
             latency=latency,
             provenance=reply.get("provenance", {}),
             attribution=attribution,
+            completeness=float(reply.get("completeness", 1.0)),
         )
 
     # -- real-time updates (PLM path, paper IV-D) ------------------------------

@@ -8,6 +8,8 @@ as connected areas.
 
 from __future__ import annotations
 
+import heapq
+
 from repro.config import EvictionConfig
 from repro.core.freshness import FreshnessTracker
 from repro.core.graph import StashGraph
@@ -45,11 +47,16 @@ class EvictionPolicy:
             return []
         target = self.safe_limit
         excess = len(graph) - target
-        ranked = sorted(
+        # nsmallest is O(n log excess) vs a full O(n log n) sort, and the
+        # (score, key) tuple is a total order (keys are unique), so the
+        # victim set and its ordering match the sorted()[:excess] form
+        # exactly.
+        ranked = heapq.nsmallest(
+            excess,
             graph.cells(),
             key=lambda cell: (tracker.score(cell, now), str(cell.key)),
         )
-        victims = [cell.key for cell in ranked[:excess]]
+        victims = [cell.key for cell in ranked]
         for key in victims:
             graph.remove(key)
         self.evictions += len(victims)

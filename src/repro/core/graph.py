@@ -67,10 +67,14 @@ class StashGraph:
         cells = self._levels.setdefault(level, {})
         if cell.key in cells:
             raise CacheError(f"cell {cell.key} already cached in {self.name}")
-        cells[cell.key] = cell
         if backing_blocks is None:
             backing_blocks = frozenset()
+        # PLM first: if it rejects the key the graph stays untouched, so
+        # the two structures cannot diverge (a cell in the graph but not
+        # the PLM would wedge every later evict -> repopulate cycle on
+        # "PLM already tracks" errors).
         self.plm.add(level, cell.key, backing_blocks)
+        cells[cell.key] = cell
 
     def upsert(
         self, cell: Cell, backing_blocks: frozenset[BlockId] | None = None
@@ -94,6 +98,16 @@ class StashGraph:
         cell = cells.pop(key)
         self.plm.remove(level, key)
         return cell
+
+    def clear(self) -> int:
+        """Drop every cell and PLM entry (a crashed node loses its cache).
+
+        Returns the number of cells dropped.
+        """
+        dropped = len(self)
+        self._levels.clear()
+        self.plm = PrecisionLevelMap()
+        return dropped
 
     # -- iteration ---------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.core.planner import plan_query
 from repro.data.block import BlockId
 from repro.data.statistics import SummaryVector
 from repro.dht.partitioner import Partitioner
+from repro.faults.membership import RPC_FAILED
 from repro.geo.resolution import ResolutionSpace
 from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
@@ -41,19 +42,59 @@ from repro.storage.node import StorageNode
 
 
 class GuestCliqueRegistry:
-    """Bookkeeping for cliques replicated *onto* this node."""
+    """Bookkeeping for cliques replicated *onto* this node.
+
+    Maintains an inverted index member key -> {clique roots} so refreshing
+    the cliques a query footprint touches is O(|footprint|) instead of
+    O(cliques x members), and so removal can tell which members are still
+    referenced by other (overlapping) cliques.
+    """
 
     def __init__(self) -> None:
         #: root key string -> (member keys, last_used sim time)
         self.entries: dict[str, dict[str, Any]] = {}
+        #: member key -> root key strings of every clique containing it
+        self._member_roots: dict[CellKey, set[str]] = {}
 
-    def add(self, root: CellKey, members: list[CellKey], now: float) -> None:
-        self.entries[str(root)] = {"members": list(members), "last_used": now}
+    def _unindex(self, root: str) -> None:
+        for member in self.entries[root]["members"]:
+            roots = self._member_roots.get(member)
+            if roots is not None:
+                roots.discard(root)
+                if not roots:
+                    del self._member_roots[member]
+
+    def add(self, root: CellKey, members: list[CellKey], now: float) -> list[CellKey]:
+        """Register a clique; returns members orphaned by an overwrite.
+
+        Re-replicating a root replaces its member list; old members not in
+        the new list (and in no other clique) are returned so the caller
+        can drop them from the guest graph instead of leaking them.
+        """
+        root_key = str(root)
+        if root_key in self.entries:
+            self._unindex(root_key)
+            old_members = self.entries[root_key]["members"]
+        else:
+            old_members = []
+        self.entries[root_key] = {"members": list(members), "last_used": now}
+        for member in members:
+            self._member_roots.setdefault(member, set()).add(root_key)
+        new_members = set(members)
+        return [
+            member
+            for member in old_members
+            if member not in new_members and member not in self._member_roots
+        ]
 
     def touch_covering(self, keys: set[CellKey], now: float) -> None:
         """Refresh last_used for every clique intersecting ``keys``."""
-        for entry in self.entries.values():
-            if any(member in keys for member in entry["members"]):
+        touched: set[str] = set()
+        for key in keys:
+            touched.update(self._member_roots.get(key, ()))
+        for root in touched:
+            entry = self.entries.get(root)
+            if entry is not None:
                 entry["last_used"] = now
 
     def expired(self, now: float, ttl: float) -> list[str]:
@@ -64,7 +105,19 @@ class GuestCliqueRegistry:
         ]
 
     def remove(self, root: str) -> list[CellKey]:
-        return self.entries.pop(root)["members"]
+        """Drop a clique; returns the members no other clique references.
+
+        Members shared with a still-registered overlapping clique are kept
+        out of the result so callers do not evict cells that clique still
+        serves.
+        """
+        self._unindex(root)
+        members = self.entries.pop(root)["members"]
+        return [m for m in members if m not in self._member_roots]
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self._member_roots.clear()
 
 
 class StashNode(StorageNode):
@@ -81,8 +134,9 @@ class StashNode(StorageNode):
         space: ResolutionSpace,
         attribute_names: list[str],
         node_index: int = 0,
+        membership=None,
     ):
-        super().__init__(sim, network, catalog, node_id, config)
+        super().__init__(sim, network, catalog, node_id, config, membership=membership)
         self.partitioner = partitioner
         self.space = space
         self.attribute_names = list(attribute_names)
@@ -107,6 +161,28 @@ class StashNode(StorageNode):
         self.register_handler("populate", self._handle_populate)
         self.register_handler("distress", self._handle_distress)
         self.register_handler("replicate", self._handle_replicate)
+
+    # ------------------------------------------------------------------
+    # fault-aware routing and lifecycle
+    # ------------------------------------------------------------------
+
+    def _owner_of(self, geohash: str) -> str:
+        """Cell/block owner under the current (possibly repaired) ring."""
+        if self.membership is not None:
+            return self.membership.node_for(geohash)
+        return self.partitioner.node_for(geohash)
+
+    def _peer_live(self, node_id: str) -> bool:
+        return self.membership is None or self.membership.is_live(node_id)
+
+    def crash(self) -> None:
+        """Lose queues and every in-memory cache (fault injection)."""
+        super().crash()
+        self.graph.clear()
+        self.guest.clear()
+        self.guest_cliques.clear()
+        self.routing.clear()
+        self._handoff_in_progress = False
 
     # ------------------------------------------------------------------
     # hotspot detection (event-driven, paper VII-B-1)
@@ -151,14 +227,16 @@ class StashNode(StorageNode):
                 )
                 helper = None
                 for candidate in candidates:
-                    ack = yield self.network.request(
-                        self.node_id,
+                    if not self._peer_live(candidate):
+                        continue
+                    ack = yield self.request_resilient(
                         candidate,
                         "distress",
                         {"ncells": clique.size},
                         size=64,
                     )
-                    if ack:
+                    # RPC_FAILED is truthy: test identity, not truth.
+                    if ack is not RPC_FAILED and ack:
                         helper = candidate
                         break
                 if helper is None:
@@ -173,14 +251,13 @@ class StashNode(StorageNode):
                     payload_cells.append((key, cell.summary, blocks))
                 if not payload_cells:
                     continue
-                ok = yield self.network.request(
-                    self.node_id,
+                ok = yield self.request_resilient(
                     helper,
                     "replicate",
                     {"root": clique.root, "cells": payload_cells},
                     size=len(payload_cells) * self.cost.cell_wire_size,
                 )
-                if ok:
+                if ok is not RPC_FAILED and ok:
                     self.routing.add(
                         clique.root,
                         helper,
@@ -231,7 +308,15 @@ class StashNode(StorageNode):
             if self.guest.upsert(Cell(key=key, summary=summary), blocks):
                 inserted.append(key)
         yield self.sim.timeout(len(cells) * self.cost.cell_insert_cost)
-        self.guest_cliques.add(root, [key for key, _, _ in cells], self.sim.now)
+        orphaned = self.guest_cliques.add(
+            root, [key for key, _, _ in cells], self.sim.now
+        )
+        # A re-replicated root replaces its member list; members dropped
+        # from it (and referenced by no other clique) would otherwise
+        # leak in the guest graph until capacity starves all handoffs.
+        for key in orphaned:
+            if self.guest.contains(key):
+                self.guest.remove(key)
         self.counters.increment("guest_cells_accepted", len(inserted))
         self.network.respond(message, True, size=16)
 
@@ -371,6 +456,10 @@ class StashNode(StorageNode):
             # rerouted query costs the hotspotted node one lookup, not a
             # whole evaluation (paper VII-C).
             helper = self.routing.choose_reroute(footprint, self.sim.now, self.rng)
+            # Liveness check AFTER choose_reroute: the rng draw happens
+            # either way, so fault-free runs consume an identical stream.
+            if helper is not None and not self._peer_live(helper):
+                helper = None
             if helper is not None:
                 yield self.sim.timeout(self.cost.cell_lookup_cost)
                 self.counters.increment("queries_rerouted")
@@ -418,34 +507,37 @@ class StashNode(StorageNode):
         footprint: list[CellKey],
         parent: Span | None = None,
     ) -> Generator[Event, Any, dict[str, Any]]:
-        """Footprint -> owners -> cache plan -> scans -> populate."""
+        """Footprint -> owners -> cache plan -> scans -> populate.
+
+        Under fault injection a fetch leg may resolve to ``RPC_FAILED``;
+        its keys fall through to the disk path, and cells whose backing
+        blocks are unreachable are *excluded* from the answer, which then
+        carries ``completeness < 1.0`` (degraded, never hung).
+        """
         ring = query_ring(query)
         cells_by_owner: dict[str, list[CellKey]] = {}
         for key in footprint:
-            cells_by_owner.setdefault(
-                self.partitioner.node_for(key.geohash), []
-            ).append(key)
+            cells_by_owner.setdefault(self._owner_of(key.geohash), []).append(key)
         ring_by_owner: dict[str, list[CellKey]] = {}
         for key in ring:
-            ring_by_owner.setdefault(
-                self.partitioner.node_for(key.geohash), []
-            ).append(key)
+            ring_by_owner.setdefault(self._owner_of(key.geohash), []).append(key)
 
         events = []
+        legs: list[str] = []
         for owner in sorted(cells_by_owner):
             payload = {
                 "query": query,
                 "cells": cells_by_owner[owner],
                 "ring": ring_by_owner.get(owner, []),
             }
+            legs.append(owner)
             if owner == self.node_id:
                 events.append(
                     self.sim.process(self._fetch_cells_impl(payload, parent=parent))
                 )
             else:
                 events.append(
-                    self.network.request(
-                        self.node_id,
+                    self.request_resilient(
                         owner,
                         "fetch_cells",
                         payload,
@@ -458,7 +550,13 @@ class StashNode(StorageNode):
         found: dict[CellKey, SummaryVector] = {}
         missing: list[CellKey] = []
         from_cache = from_rollup = 0
-        for response in responses:
+        for owner, response in zip(legs, responses):
+            if response is RPC_FAILED:
+                # Owner unreachable: treat its whole key share as cache
+                # misses and try the disk path instead.
+                self.counters.increment("fetch_legs_failed")
+                missing.extend(cells_by_owner[owner])
+                continue
             found.update(response["found"])
             missing.extend(response["missing"])
             from_cache += response["stats"]["cached"]
@@ -472,8 +570,9 @@ class StashNode(StorageNode):
             "rerouted": 0,
         }
 
+        unresolved: list[CellKey] = []
         if missing:
-            new_cells = yield from self._resolve_missing(
+            new_cells, unresolved = yield from self._resolve_missing(
                 query, missing, provenance, parent=parent
             )
             found.update(new_cells)
@@ -483,7 +582,16 @@ class StashNode(StorageNode):
             cells = {
                 key: vec.project(query.attributes) for key, vec in cells.items()
             }
-        return {"cells": cells, "provenance": provenance}
+        completeness = 1.0
+        if unresolved:
+            self.counters.increment("degraded_answers")
+            provenance["cells_unresolved"] = len(unresolved)
+            completeness = 1.0 - len(unresolved) / max(1, len(footprint))
+        return {
+            "cells": cells,
+            "provenance": provenance,
+            "completeness": completeness,
+        }
 
     def _resolve_missing(
         self,
@@ -491,12 +599,19 @@ class StashNode(StorageNode):
         missing: list[CellKey],
         provenance: dict[str, int],
         parent: Span | None = None,
-    ) -> Generator[Event, Any, dict[CellKey, SummaryVector]]:
+    ) -> Generator[
+        Event, Any, tuple[dict[CellKey, SummaryVector], list[CellKey]]
+    ]:
         """Scan the backing blocks of missing cells; populate async.
 
         Scans always aggregate *all* attributes regardless of the query's
         attribute selection: cached cells must be reusable by any future
         query (selection is applied to the response, not the cache).
+
+        Returns ``(new_cells, unresolved)``: cells whose backing blocks
+        sit only on unreachable nodes cannot be computed — they are
+        reported unresolved (degrading the answer) rather than fabricated
+        as empty, and are never populated into the cache.
         """
         if query.attributes is not None:
             query = AggregationQuery(
@@ -511,15 +626,16 @@ class StashNode(StorageNode):
         block_ids = sorted(needed)
         plan = self.catalog.blocks_by_node(block_ids)
         events = []
+        scan_legs: list[tuple[str, list[BlockId]]] = []
         for node_id, ids in sorted(plan.items()):
+            scan_legs.append((node_id, ids))
             if node_id == self.node_id:
                 events.append(
                     self.sim.process(self.scan_locally(query, ids, parent=parent))
                 )
             else:
                 events.append(
-                    self.network.request(
-                        self.node_id,
+                    self.request_resilient(
                         node_id,
                         "scan",
                         {"query": query, "block_ids": ids},
@@ -530,8 +646,15 @@ class StashNode(StorageNode):
         partials = (yield self.sim.all_of(events)) if events else []
 
         scanned: dict[CellKey, SummaryVector] = {}
+        unread_blocks: set[BlockId] = set()
         merges = 0
-        for cells in partials:
+        for (node_id, ids), cells in zip(scan_legs, partials):
+            if cells is RPC_FAILED:
+                # Blocks physically on a dead node are unreadable until
+                # it restarts; every cell depending on them is degraded.
+                self.counters.increment("scan_legs_failed")
+                unread_blocks.update(ids)
+                continue
             for key, vec in cells.items():
                 existing = scanned.get(key)
                 if existing is None:
@@ -554,18 +677,30 @@ class StashNode(StorageNode):
             yield self.sim.timeout(cpu)
 
         new_cells: dict[CellKey, SummaryVector] = {}
+        unresolved: list[CellKey] = []
         for key in missing:
-            new_cells[key] = scanned.get(
-                key, SummaryVector.empty(self.attribute_names)
-            )
+            value = scanned.get(key)
+            if value is not None:
+                new_cells[key] = value
+                continue
+            if unread_blocks and unread_blocks & set(
+                self.catalog.blocks_for_cell(key)
+            ):
+                # Not scanned because its data was unreachable — an
+                # honest hole in the answer, not a known-empty cell.
+                unresolved.append(key)
+            else:
+                new_cells[key] = SummaryVector.empty(self.attribute_names)
         provenance["cells_from_disk"] = len(new_cells)
-        provenance["disk_blocks_read"] = len(block_ids)
+        provenance["disk_blocks_read"] = len(block_ids) - len(unread_blocks)
 
         # Fire-and-forget population on the owner nodes (separate thread
-        # in the paper; here separate service-pool messages).
+        # in the paper; here separate service-pool messages).  Unresolved
+        # cells are never populated: caching an incomplete summary would
+        # poison every later query with a silently wrong "complete" cell.
         by_owner: dict[str, dict[CellKey, SummaryVector]] = {}
         for key, vec in new_cells.items():
-            by_owner.setdefault(self.partitioner.node_for(key.geohash), {})[key] = vec
+            by_owner.setdefault(self._owner_of(key.geohash), {})[key] = vec
         for owner, cells in sorted(by_owner.items()):
             self.network.send(
                 self.node_id,
@@ -575,4 +710,4 @@ class StashNode(StorageNode):
                 size=len(cells) * self.cost.cell_wire_size,
                 parent=parent,
             )
-        return new_cells
+        return new_cells, unresolved

@@ -58,6 +58,17 @@ class Partitioner(ABC):
         """Owner node of any geohash (cell or block)."""
         return self.node_for_partition(self.partition_key(geohash))
 
+    def without_node(self, node_id: str) -> "Partitioner":
+        """A new partition map with one node removed (ring repair).
+
+        The base implementation rebuilds with the surviving nodes;
+        subclasses with better remap locality override this.
+        """
+        if node_id not in self.node_ids:
+            raise StorageError(f"unknown node {node_id!r}")
+        remaining = [n for n in self.node_ids if n != node_id]
+        return type(self)(remaining, self.partition_precision)
+
 
 class PrefixPartitioner(Partitioner):
     """Uniform modulo placement of geohash prefixes (Galileo-style)."""

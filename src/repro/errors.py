@@ -53,3 +53,7 @@ class WorkloadError(ReproError):
 
 class QueryError(ReproError):
     """Malformed spatiotemporal query."""
+
+
+class FaultError(ReproError):
+    """Invalid fault schedule or fault-injection misuse."""

@@ -1,0 +1,35 @@
+"""Fault injection and failure recovery for the simulated STASH cluster.
+
+The paper assumes a healthy Galileo DHT; production clusters do not get
+that luxury.  This package adds a deterministic failure model on top of
+the discrete-event simulator:
+
+* :mod:`repro.faults.schedule` — declarative fault schedules (crash,
+  restart, link drop/delay, disk slowdown) validated up front;
+* :mod:`repro.faults.membership` — the cluster's shared zero-hop view of
+  which nodes are live, with DHT ring repair via
+  ``Partitioner.without_node`` when a node is declared dead;
+* :mod:`repro.faults.injector` — the process that drives a schedule
+  against a running system.
+
+Coordinator-side timeouts, bounded retry/backoff, and degraded (partial)
+answers live on the nodes themselves (:mod:`repro.storage.node`,
+:mod:`repro.core.node`); ``RPC_FAILED`` is the sentinel a fault-aware
+RPC leg returns once its target has been declared dead.
+
+With an empty schedule and ``FaultConfig.enabled`` false the entire
+layer is inert: no extra simulation events are created, so existing
+experiments are bit-identical to runs without this package.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.membership import RPC_FAILED, ClusterMembership
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+__all__ = [
+    "ClusterMembership",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "RPC_FAILED",
+]

@@ -1,0 +1,121 @@
+"""Shared zero-hop cluster membership with DHT ring repair.
+
+Galileo's zero-hop DHT means every node holds the complete partition
+map; this module extends that to liveness.  :class:`ClusterMembership`
+is the single shared view of which nodes are currently live.  When a
+coordinator exhausts its retries against a peer it declares the peer
+dead here; the membership then repairs the ring by rebuilding the
+partition map without the dead node (``Partitioner.without_node``), so
+subsequent lookups route around the failure.  A restarted node is
+revived and the original map restored.
+
+``RPC_FAILED`` is the sentinel a fault-aware RPC leg resolves to once
+its target is (or has been declared) dead.  It is a *truthy* object —
+always compare with ``is RPC_FAILED``, never rely on truthiness.
+
+When no node has ever been declared dead, :meth:`node_for` delegates to
+the original partitioner untouched, so fault-free runs route exactly as
+before this layer existed.
+"""
+
+from __future__ import annotations
+
+from repro.dht.partitioner import Partitioner
+from repro.errors import FaultError
+
+
+class _RpcFailed:
+    """Singleton sentinel for an RPC leg that gave up on a dead peer."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "RPC_FAILED"
+
+
+RPC_FAILED = _RpcFailed()
+
+
+class ClusterMembership:
+    """The cluster's shared view of node liveness and the repaired ring.
+
+    A real deployment would gossip this; in the zero-hop simulation the
+    shared object *is* the gossip — every node observes a declaration
+    immediately, which keeps the failure model deterministic.
+    """
+
+    def __init__(self, partitioner: Partitioner):
+        self._base = partitioner
+        #: Current routing view; == ``_base`` while every node is live.
+        self._view: Partitioner = partitioner
+        self._dead: set[str] = set()
+        #: Monotone count of dead-declarations (metrics/gauges).
+        self.failovers = 0
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The current (possibly repaired) partition map."""
+        return self._view
+
+    def is_live(self, node_id: str) -> bool:
+        return node_id not in self._dead
+
+    def live_nodes(self) -> list[str]:
+        return [n for n in self._base.node_ids if n not in self._dead]
+
+    def dead_nodes(self) -> list[str]:
+        return sorted(self._dead)
+
+    def node_for(self, geohash: str) -> str:
+        """Owner of a geohash under the current repaired ring."""
+        return self._view.node_for(geohash)
+
+    # -- transitions ------------------------------------------------------
+
+    def declare_dead(self, node_id: str) -> bool:
+        """Mark a node dead and repair the ring around it.
+
+        Returns True if this call changed the view (first declaration),
+        False if the node was already dead.  Refuses to kill the last
+        live node — some owner must always exist for every key.
+        """
+        if node_id not in self._base.node_ids:
+            raise FaultError(f"unknown node {node_id!r}")
+        if node_id in self._dead:
+            return False
+        if len(self.live_nodes()) <= 1:
+            raise FaultError(
+                f"refusing to declare last live node {node_id!r} dead"
+            )
+        self._dead.add(node_id)
+        self.failovers += 1
+        self._rebuild_view()
+        return True
+
+    def revive(self, node_id: str) -> bool:
+        """Bring a node back into the ring (after a restart).
+
+        Returns True if the node was dead, False if it was already live.
+        """
+        if node_id not in self._base.node_ids:
+            raise FaultError(f"unknown node {node_id!r}")
+        if node_id not in self._dead:
+            return False
+        self._dead.discard(node_id)
+        self._rebuild_view()
+        return True
+
+    def _rebuild_view(self) -> None:
+        """Recompute the routing view as base minus dead, in base order."""
+        view = self._base
+        for node_id in self._base.node_ids:
+            if node_id in self._dead:
+                view = view.without_node(node_id)
+        self._view = view

@@ -1,0 +1,187 @@
+"""Declarative fault schedules.
+
+A schedule is a time-ordered list of :class:`FaultEvent` entries applied
+to the simulation at exact simulated times, so a given (workload,
+schedule) pair produces one canonical execution — fault experiments are
+as reproducible as fault-free ones.
+
+Event kinds:
+
+``crash``
+    Node goes down at ``at``: its queued and in-flight messages are
+    lost, its in-memory caches are wiped, and every message to or from
+    it is dropped until a ``restart``.
+``restart``
+    Node comes back at ``at`` with a cold cache (disk contents survive).
+``slow_disk``
+    Reads on ``node`` take ``factor`` times longer during [at, until).
+``drop_link``
+    Messages matching src -> dst are dropped during [at, until).
+``delay_link``
+    Messages matching src -> dst take ``extra`` additional seconds
+    during [at, until).  ``src``/``dst`` of ``None`` match any node.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.errors import FaultError
+
+#: All recognised event kinds.
+FAULT_KINDS = ("crash", "restart", "slow_disk", "drop_link", "delay_link")
+
+#: Kinds that target one node and need no window.
+_POINT_KINDS = ("crash", "restart")
+
+#: Kinds active over a [at, until) window.
+_WINDOW_KINDS = ("slow_disk", "drop_link", "delay_link")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    kind: str
+    #: Simulated time the fault takes effect.
+    at: float
+    #: Target node (crash / restart / slow_disk).
+    node: str | None = None
+    #: End of the effect window (window kinds only).
+    until: float | None = None
+    #: Disk read-time multiplier (slow_disk).
+    factor: float = 1.0
+    #: Link matchers (drop_link / delay_link); None matches any node.
+    src: str | None = None
+    dst: str | None = None
+    #: Extra one-way latency in seconds (delay_link).
+    extra: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise FaultError(f"fault time must be >= 0, got {self.at}")
+        if self.kind in _POINT_KINDS or self.kind == "slow_disk":
+            if not self.node:
+                raise FaultError(f"{self.kind} event needs a node")
+        if self.kind in _WINDOW_KINDS:
+            if self.until is None or self.until <= self.at:
+                raise FaultError(
+                    f"{self.kind} event needs until > at, got "
+                    f"at={self.at} until={self.until}"
+                )
+        if self.kind == "slow_disk" and self.factor <= 0:
+            raise FaultError(f"slow_disk factor must be > 0, got {self.factor}")
+        if self.kind == "delay_link" and self.extra <= 0:
+            raise FaultError(f"delay_link extra must be > 0, got {self.extra}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form with defaulted fields omitted."""
+        out = {k: v for k, v in asdict(self).items() if v is not None}
+        if self.kind != "slow_disk":
+            out.pop("factor", None)
+        if self.kind != "delay_link":
+            out.pop("extra", None)
+        return out
+
+
+class FaultSchedule:
+    """A validated, time-ordered collection of fault events."""
+
+    def __init__(self, events: tuple[FaultEvent, ...] | list[FaultEvent] = ()):
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.at, FAULT_KINDS.index(e.kind), str(e)))
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        """Crash/restart sequencing must be sane per node."""
+        down: dict[str, bool] = {}
+        for event in self.events:
+            if event.kind == "crash":
+                if down.get(event.node):
+                    raise FaultError(
+                        f"node {event.node!r} crashed twice without a restart"
+                    )
+                down[event.node] = True
+            elif event.kind == "restart":
+                if not down.get(event.node):
+                    raise FaultError(
+                        f"restart of {event.node!r} at t={event.at} "
+                        "without a preceding crash"
+                    )
+                down[event.node] = False
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def nodes(self) -> list[str]:
+        """Every node named by any event."""
+        out: list[str] = []
+        for event in self.events:
+            for node in (event.node, event.src, event.dst):
+                if node is not None and node not in out:
+                    out.append(node)
+        return out
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"events": [event.to_dict() for event in self.events]}, indent=2
+        )
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultSchedule":
+        if not isinstance(data, dict) or "events" not in data:
+            raise FaultError("fault schedule JSON must be {'events': [...]}")
+        events = []
+        for i, raw in enumerate(data["events"]):
+            if not isinstance(raw, dict):
+                raise FaultError(f"event {i} is not an object: {raw!r}")
+            unknown = set(raw) - {
+                "kind", "at", "node", "until", "factor", "src", "dst", "extra",
+            }
+            if unknown:
+                raise FaultError(f"event {i} has unknown fields {sorted(unknown)}")
+            try:
+                events.append(FaultEvent(**raw))
+            except TypeError as exc:
+                raise FaultError(f"event {i} is malformed: {exc}") from None
+        return FaultSchedule(tuple(events))
+
+    @staticmethod
+    def from_json(text: str) -> "FaultSchedule":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"invalid fault schedule JSON: {exc}") from None
+        return FaultSchedule.from_dict(data)
+
+    @staticmethod
+    def load(path: str) -> "FaultSchedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return FaultSchedule.from_json(fh.read())
+
+    # -- convenience builders ---------------------------------------------
+
+    @staticmethod
+    def crash_restart(node: str, crash_at: float, restart_at: float) -> "FaultSchedule":
+        """The canonical one-node crash/recovery scenario."""
+        if restart_at <= crash_at:
+            raise FaultError(
+                f"restart_at ({restart_at}) must be after crash_at ({crash_at})"
+            )
+        return FaultSchedule(
+            (
+                FaultEvent(kind="crash", at=crash_at, node=node),
+                FaultEvent(kind="restart", at=restart_at, node=node),
+            )
+        )

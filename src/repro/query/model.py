@@ -188,6 +188,15 @@ class QueryResult:
     #: Critical-path latency attribution (seconds per category, summing
     #: to ``latency``); None unless tracing was enabled for the run.
     attribution: dict[str, float] | None = None
+    #: Fraction of the query footprint actually answered.  1.0 for a
+    #: full answer; < 1.0 when failure recovery returned a degraded
+    #: partial answer (unreachable cells are omitted, never faked).
+    completeness: float = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is an explicit partial (completeness < 1)."""
+        return self.completeness < 1.0
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -226,4 +235,6 @@ class QueryResult:
         }
         if self.attribution is not None:
             out["attribution"] = dict(self.attribution)
+        if self.completeness < 1.0:
+            out["completeness"] = self.completeness
         return out

@@ -55,6 +55,10 @@ class RoutingTable:
             RouteEntry(root=root, helper=helper, cell_keys=cell_keys, created_at=now)
         )
 
+    def clear(self) -> None:
+        """Drop all entries (a crashed node forgets its replicas)."""
+        self._entries.clear()
+
     def purge(self, now: float) -> int:
         """Drop expired entries; returns how many were removed."""
         before = len(self._entries)

@@ -32,6 +32,8 @@ class Disk:
         self.node_id = node_id
         self.tracer = tracer
         self._channel = Resource(sim, channels, name=f"disk:{node_id}")
+        #: Fault-injection multiplier on read time (1.0 = healthy).
+        self.slow_factor = 1.0
         #: Totals for reporting.
         self.reads = 0
         self.bytes_read = 0
@@ -49,6 +51,8 @@ class Disk:
             self.reads += 1
             self.bytes_read += nbytes
             dt = self.cost.disk_read_time(nbytes)
+            if self.slow_factor != 1.0:
+                dt *= self.slow_factor
             if self.tracer is not None and self.tracer.enabled:
                 now = self.sim.now
                 if now > queued_at:

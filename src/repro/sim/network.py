@@ -54,6 +54,17 @@ class Network:
         #: Totals for reporting.
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Fault state: crashed nodes and active link rules.  While both
+        #: are empty every transport path is byte-identical to the
+        #: fault-free fabric (no extra events, no extra cost).
+        self._down: set[str] = set()
+        #: (start, until, src|None, dst|None) — drop matching messages.
+        self._drop_rules: list[tuple[float, float, str | None, str | None]] = []
+        #: (start, until, src|None, dst|None, extra) — add one-way latency.
+        self._delay_rules: list[
+            tuple[float, float, str | None, str | None, float]
+        ] = []
+        self.messages_dropped = 0
 
     # -- membership --------------------------------------------------------
 
@@ -76,6 +87,65 @@ class Network:
     def queue_depth(self, node_id: str) -> int:
         """Pending messages at a node — the hotspot-detection signal."""
         return len(self.inbox(node_id))
+
+    # -- fault hooks -------------------------------------------------------
+
+    def set_down(self, node_id: str, down: bool = True) -> None:
+        """Mark a node crashed: messages to/from it are silently dropped."""
+        self.inbox(node_id)  # validate
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down
+
+    def add_drop_rule(
+        self,
+        start: float,
+        until: float,
+        src: str | None = None,
+        dst: str | None = None,
+    ) -> None:
+        """Drop messages matching src -> dst during [start, until)."""
+        self._drop_rules.append((start, until, src, dst))
+
+    def add_delay_rule(
+        self,
+        start: float,
+        until: float,
+        extra: float,
+        src: str | None = None,
+        dst: str | None = None,
+    ) -> None:
+        """Add ``extra`` one-way latency to matching messages."""
+        self._delay_rules.append((start, until, src, dst, extra))
+
+    def _should_drop(self, sender: str, recipient: str) -> bool:
+        if sender in self._down or recipient in self._down:
+            return True
+        now = self.sim.now
+        for start, until, src, dst in self._drop_rules:
+            if (
+                start <= now < until
+                and (src is None or src == sender)
+                and (dst is None or dst == recipient)
+            ):
+                return True
+        return False
+
+    def _extra_delay(self, sender: str, recipient: str) -> float:
+        extra = 0.0
+        now = self.sim.now
+        for start, until, src, dst, amount in self._delay_rules:
+            if (
+                start <= now < until
+                and (src is None or src == sender)
+                and (dst is None or dst == recipient)
+            ):
+                extra += amount
+        return extra
 
     # -- transport ---------------------------------------------------------
 
@@ -102,7 +172,16 @@ class Network:
         )
         self.messages_sent += 1
         self.bytes_sent += size
+        if (self._down or self._drop_rules) and self._should_drop(
+            sender, recipient
+        ):
+            # Lost on the wire: no delivery event, no reply.  Callers
+            # recover via timeout/retry (see StorageNode.request_resilient).
+            self.messages_dropped += 1
+            return message
         delay = 0.0 if sender == recipient else self.cost.network_time(size)
+        if self._delay_rules:
+            delay += self._extra_delay(sender, recipient)
         if self.tracer.enabled:
             message.span = parent
             if delay > 0.0:
@@ -161,11 +240,20 @@ class Network:
         reply_event = message.reply_to
         self.messages_sent += 1
         self.bytes_sent += size
+        if (self._down or self._drop_rules) and self._should_drop(
+            message.recipient, message.sender
+        ):
+            # Responder (or caller) is down, or the return link is cut:
+            # the reply vanishes and the caller's event never fires.
+            self.messages_dropped += 1
+            return
         delay = (
             0.0
             if message.sender == message.recipient
             else self.cost.network_time(size)
         )
+        if self._delay_rules:
+            delay += self._extra_delay(message.recipient, message.sender)
         if self.tracer.enabled and delay > 0.0:
             self.tracer.record(
                 f"net:reply:{message.kind}",
@@ -183,6 +271,11 @@ class Network:
         if message.reply_to is None:
             raise NetworkError(f"message {message.msg_id} expects no reply")
         reply_event = message.reply_to
+        if (self._down or self._drop_rules) and self._should_drop(
+            message.recipient, message.sender
+        ):
+            self.messages_dropped += 1
+            return
         delay = (
             0.0
             if message.sender == message.recipient

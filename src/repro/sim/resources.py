@@ -50,6 +50,17 @@ class Store:
             self._waiters.append(event)
         return event
 
+    def clear(self) -> list[Any]:
+        """Drop all queued items (a crashed node loses its queue).
+
+        Waiting getters are left waiting — a crashed node's workers are
+        not resumed, and live workers blocked on an empty queue simply
+        keep blocking.  Returns the dropped items for accounting.
+        """
+        dropped = list(self.items)
+        self.items.clear()
+        return dropped
+
     @property
     def waiting_getters(self) -> int:
         return len(self._waiters)

@@ -16,6 +16,7 @@ from repro.core.keys import CellKey
 from repro.data.block import Block, BlockId
 from repro.data.statistics import SummaryVector
 from repro.errors import StorageError
+from repro.faults.membership import RPC_FAILED, ClusterMembership
 from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
 from repro.sim.disk import Disk
@@ -45,6 +46,7 @@ class StorageNode:
         catalog: StorageCatalog,
         node_id: str,
         config: StashConfig,
+        membership: ClusterMembership | None = None,
     ):
         self.sim = sim
         self.network = network
@@ -52,6 +54,7 @@ class StorageNode:
         self.node_id = node_id
         self.config = config
         self.cost = config.cost
+        self.membership = membership
         self.inbox = network.register(node_id)
         self.tracer = network.tracer
         self.disk = Disk(sim, self.cost, node_id, tracer=network.tracer)
@@ -60,6 +63,7 @@ class StorageNode:
         self._service_queue = Store(sim, name=f"service:{node_id}")
         self._handlers: dict[str, Handler] = {"scan": self._handle_scan}
         self._started = False
+        self._workers_stale = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -72,6 +76,31 @@ class StorageNode:
         for _ in range(self.config.cluster.workers_per_node):
             self.sim.process(self._worker(self._coord_queue))
             self.sim.process(self._worker(self._service_queue))
+
+    def crash(self) -> None:
+        """Lose all volatile state (fault injection).
+
+        Queued messages are dropped and the worker queues are replaced;
+        workers blocked on (or mid-dispatch against) the old queues are
+        stranded on objects nothing will ever touch again — their pending
+        external effects are suppressed by the network's down-set.  The
+        dispatcher keeps running but receives nothing while the node is
+        down.  Subclasses additionally wipe their in-memory caches.
+        """
+        self.inbox.clear()
+        self._coord_queue = Store(self.sim, name=f"coord:{self.node_id}")
+        self._service_queue = Store(self.sim, name=f"service:{self.node_id}")
+        self._workers_stale = True
+        self.counters.increment("crashes")
+
+    def restart(self) -> None:
+        """Come back up cold: fresh worker pools on the fresh queues."""
+        if self._started and self._workers_stale:
+            for _ in range(self.config.cluster.workers_per_node):
+                self.sim.process(self._worker(self._coord_queue))
+                self.sim.process(self._worker(self._service_queue))
+        self._workers_stale = False
+        self.counters.increment("restarts")
 
     def _dispatcher(self) -> Generator[Event, Any, None]:
         while True:
@@ -142,6 +171,101 @@ class StorageNode:
 
     def register_handler(self, kind: str, handler: Handler) -> None:
         self._handlers[kind] = handler
+
+    # -- fault-tolerant RPC ------------------------------------------------
+
+    def request_resilient(
+        self,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size: int = 0,
+        parent: Span | None = None,
+    ) -> Event:
+        """An RPC that cannot hang the caller.
+
+        With the fault layer inactive this *is* ``network.request`` —
+        same events, same costs, bit-identical schedules.  Active, the
+        request runs under a timeout/retry/backoff loop and the returned
+        event resolves to :data:`RPC_FAILED` once the peer is hopeless,
+        declaring it dead in the shared membership so the DHT ring
+        repairs around it.  Callers must test ``value is RPC_FAILED``
+        (the sentinel is truthy).
+        """
+        if self.membership is None or not self.config.faults.active:
+            return self.network.request(
+                self.node_id, recipient, kind, payload, size=size, parent=parent
+            )
+        return self.sim.process(
+            self._request_with_retry(recipient, kind, payload, size, parent)
+        )
+
+    def _request_with_retry(
+        self,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size: int,
+        parent: Span | None,
+    ) -> Generator[Event, Any, Any]:
+        faults = self.config.faults
+        membership = self.membership
+        assert membership is not None
+        attempts = faults.max_retries + 1
+        for attempt in range(attempts):
+            if not membership.is_live(recipient):
+                # Someone already declared the peer dead: fail fast so
+                # the caller reroutes instead of burning timeouts.
+                self.counters.increment("rpc_failfast")
+                return RPC_FAILED
+            started = self.sim.now
+            reply = self.network.request(
+                self.node_id, recipient, kind, payload, size=size, parent=parent
+            )
+            index, value = yield self.sim.any_of(
+                [reply, self.sim.timeout(faults.rpc_timeout)]
+            )
+            if index == 0:
+                return value
+            self.counters.increment("rpc_timeouts")
+            if self.tracer.enabled:
+                self.tracer.record(
+                    f"timeout:{kind}",
+                    "network",
+                    started,
+                    self.sim.now,
+                    parent=parent,
+                    node=self.node_id,
+                    attrs={"to": recipient, "attempt": attempt},
+                )
+            if attempt + 1 < attempts:
+                backoff = faults.backoff_base * faults.backoff_multiplier**attempt
+                self.counters.increment("rpc_retries")
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        f"retry:{kind}",
+                        "queueing",
+                        self.sim.now,
+                        self.sim.now + backoff,
+                        parent=parent,
+                        node=self.node_id,
+                        attrs={"to": recipient, "attempt": attempt + 1},
+                    )
+                yield self.sim.timeout(backoff)
+        if membership.is_live(recipient) and len(membership.live_nodes()) > 1:
+            membership.declare_dead(recipient)
+            self.counters.increment("peers_declared_dead")
+            if self.tracer.enabled:
+                self.tracer.record(
+                    f"failover:{recipient}",
+                    "network",
+                    self.sim.now,
+                    self.sim.now,
+                    parent=parent,
+                    node=self.node_id,
+                    attrs={"kind": kind},
+                )
+        return RPC_FAILED
 
     # -- introspection ---------------------------------------------------------
 

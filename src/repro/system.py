@@ -19,6 +19,7 @@ from repro.config import DEFAULT_CONFIG, StashConfig
 from repro.data.observation import ObservationBatch
 from repro.dht.partitioner import PrefixPartitioner
 from repro.errors import QueryError
+from repro.faults.membership import ClusterMembership
 from repro.obs.critical_path import attribute_span
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
@@ -26,6 +27,7 @@ from repro.query.model import AggregationQuery, QueryResult
 from repro.sim.engine import Event, Process, Simulator
 from repro.sim.metrics import (
     AttributionCollector,
+    CounterSet,
     LatencyCollector,
     ThroughputTimeline,
 )
@@ -51,6 +53,9 @@ class DistributedSystem(ABC):
         self.partitioner = PrefixPartitioner(
             self.node_ids, config.cluster.partition_precision
         )
+        self.membership = ClusterMembership(self.partitioner)
+        self.fault_counters = CounterSet()
+        self.fault_injector: Any = None
         self.catalog = StorageCatalog(
             self.partitioner, block_precision=config.cluster.block_precision
         )
@@ -79,6 +84,14 @@ class DistributedSystem(ABC):
             self._start_nodes()
             self._nodes_started = True
             self._register_default_gauges()
+            if self.config.faults.schedule:
+                from repro.faults.injector import FaultInjector
+                from repro.faults.schedule import FaultSchedule
+
+                self.fault_injector = FaultInjector(
+                    self, FaultSchedule(tuple(self.config.faults.schedule))
+                )
+                self.fault_injector.install()
             interval = self.config.observability.sample_interval
             if interval > 0:
                 self.metrics.start(interval)
@@ -114,6 +127,35 @@ class DistributedSystem(ABC):
             "network.messages_sent", lambda: float(self.network.messages_sent)
         )
         self.metrics.gauge("cluster.hit_rate", self._hit_rate)
+        self.metrics.gauge(
+            "cluster.live_nodes",
+            lambda: float(len(self.membership.live_nodes())),
+        )
+        self.metrics.gauge(
+            "network.messages_dropped",
+            lambda: float(self.network.messages_dropped),
+        )
+        self.metrics.gauge("cluster.rpc_retries", self._fault_counter_total("rpc_retries"))
+        self.metrics.gauge(
+            "cluster.failovers", lambda: float(self.membership.failovers)
+        )
+        self.metrics.gauge(
+            "cluster.degraded_answers",
+            self._fault_counter_total("degraded_answers"),
+        )
+
+    def _fault_counter_total(self, name: str):
+        """A gauge callable summing one counter across nodes + client."""
+
+        def total() -> float:
+            value = self.fault_counters.get(name)
+            for node in self.nodes.values():
+                counters = getattr(node, "counters", None)
+                if counters is not None:
+                    value += counters.get(name)
+            return float(value)
+
+        return total
 
     def _hit_rate(self) -> float:
         """Cache + roll-up serves over all cell resolutions so far."""
@@ -138,12 +180,14 @@ class DistributedSystem(ABC):
         Requests land on the owner of the query's center geohash, mirroring
         geospatial request routing: interest concentrated on one region
         queues up on one node (the hotspot precondition of section VII).
+        Routed through the membership view, which is the base partitioner
+        verbatim until a node is declared dead, then the repaired ring.
         """
         from repro.geo.geohash import encode
 
         lat, lon = query.bbox.center
         code = encode(lat, lon, self.partitioner.partition_precision)
-        return self.partitioner.node_for(code)
+        return self.membership.node_for(code)
 
     # -- client API -------------------------------------------------------------
 
@@ -156,21 +200,27 @@ class DistributedSystem(ABC):
         self, query: AggregationQuery
     ) -> Generator[Event, Any, QueryResult]:
         started = self.sim.now
-        coordinator = self.coordinator_for(query)
         root = self.tracer.begin(
             "query", "compute", node=CLIENT_ID, query_id=query.query_id
         )
-        reply = yield self.network.request(
-            CLIENT_ID,
-            coordinator,
-            "evaluate",
-            {"query": query},
-            size=512,
-            parent=root,
-        )
+        if self.config.faults.active:
+            reply = yield from self._evaluate_with_retry(query, root)
+        else:
+            reply = yield self.network.request(
+                CLIENT_ID,
+                self.coordinator_for(query),
+                "evaluate",
+                {"query": query},
+                size=512,
+                parent=root,
+            )
         latency = self.sim.now - started
         self.latencies.record(latency)
         self.timeline.record_completion(self.sim.now)
+        if reply is None:
+            # Every coordinator attempt failed: an explicit empty answer
+            # (completeness 0) beats a hung client or a crashed run.
+            reply = {"cells": {}, "provenance": {"rerouted": 0}, "completeness": 0.0}
         if not isinstance(reply, dict) or "cells" not in reply:
             raise QueryError(f"malformed evaluate reply: {reply!r}")
         attribution = None
@@ -184,7 +234,60 @@ class DistributedSystem(ABC):
             latency=latency,
             provenance=reply.get("provenance", {}),
             attribution=attribution,
+            completeness=float(reply.get("completeness", 1.0)),
         )
+
+    def _evaluate_with_retry(
+        self, query: AggregationQuery, root
+    ) -> Generator[Event, Any, Any]:
+        """Client-side evaluate with timeout, backoff, and re-routing.
+
+        Each attempt re-resolves the coordinator through the membership
+        view, so once a dead coordinator is declared the retry lands on
+        the repaired ring's owner.  Returns the reply dict, or None when
+        every attempt timed out.
+        """
+        faults = self.config.faults
+        attempts = faults.max_retries + 1
+        for attempt in range(attempts):
+            coordinator = self.coordinator_for(query)
+            started = self.sim.now
+            reply_event = self.network.request(
+                CLIENT_ID,
+                coordinator,
+                "evaluate",
+                {"query": query},
+                size=512,
+                parent=root,
+            )
+            index, value = yield self.sim.any_of(
+                [reply_event, self.sim.timeout(faults.evaluate_timeout)]
+            )
+            if index == 0:
+                return value
+            self.fault_counters.increment("client_timeouts")
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "timeout:evaluate",
+                    "network",
+                    started,
+                    self.sim.now,
+                    parent=root,
+                    node=CLIENT_ID,
+                    attrs={"to": coordinator, "attempt": attempt},
+                )
+            if (
+                self.membership.is_live(coordinator)
+                and len(self.membership.live_nodes()) > 1
+            ):
+                self.membership.declare_dead(coordinator)
+                self.fault_counters.increment("coordinators_declared_dead")
+            if attempt + 1 < attempts:
+                backoff = faults.backoff_base * faults.backoff_multiplier**attempt
+                self.fault_counters.increment("client_retries")
+                yield self.sim.timeout(backoff)
+        self.fault_counters.increment("client_gave_up")
+        return None
 
     def run_query(self, query: AggregationQuery) -> QueryResult:
         """Submit one query and run the simulation to its completion."""

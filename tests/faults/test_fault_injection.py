@@ -1,0 +1,230 @@
+"""Fault injection end-to-end: crash, recovery, degradation, determinism."""
+
+import pytest
+
+from repro.config import ClusterConfig, FaultConfig, StashConfig
+from repro.core.cluster import StashCluster
+from repro.data.generator import small_test_dataset
+from repro.errors import FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+
+#: Fast-recovery knobs so detect/declare/reroute fits in test time.
+FAST_FAULTS = dict(
+    rpc_timeout=0.2,
+    evaluate_timeout=1.0,
+    max_retries=1,
+    backoff_base=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_test_dataset(num_records=6_000)
+
+
+def base_query(i: int = 0) -> AggregationQuery:
+    return AggregationQuery(
+        bbox=BoundingBox(33, 37, -108, -100),
+        time_range=TimeKey.of(2013, 2, 2).epoch_range(),
+        resolution=Resolution(3, TemporalResolution.DAY),
+    ).panned(0.02 * (i % 5), 0.02 * (i % 5))
+
+
+def cluster(dataset, faults: FaultConfig | None = None, nodes: int = 4):
+    config = StashConfig(
+        cluster=ClusterConfig(num_nodes=nodes),
+        faults=faults if faults is not None else FaultConfig(),
+    )
+    return StashCluster(dataset, config)
+
+
+def bare_network():
+    from repro.config import CostModel
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+
+    sim = Simulator()
+    network = Network(sim, CostModel())
+    network.register("node-0")
+    network.register("node-1")
+    return sim, network
+
+
+class TestNetworkFaultHooks:
+    def test_down_node_drops_both_directions(self):
+        sim, network = bare_network()
+        network.set_down("node-1")
+        network.send("node-0", "node-1", "ping", {}, size=10)
+        network.send("node-1", "node-0", "ping", {}, size=10)
+        sim.run()
+        assert network.messages_dropped == 2
+        assert len(network.inbox("node-1")) == 0
+        assert len(network.inbox("node-0")) == 0
+        network.set_down("node-1", False)
+        network.send("node-0", "node-1", "ping", {}, size=10)
+        sim.run()
+        assert network.messages_dropped == 2
+        assert len(network.inbox("node-1")) == 1
+
+    def test_drop_rule_window(self):
+        sim, network = bare_network()
+        network.add_drop_rule(5.0, 10.0, src="node-0", dst="node-1")
+        # Outside the window: delivered.
+        network.send("node-0", "node-1", "ping", {}, size=10)
+        assert network.messages_dropped == 0
+        sim.run(until=sim.timeout(6.0))
+        # Inside: dropped, and only for the matching direction.
+        network.send("node-0", "node-1", "ping", {}, size=10)
+        network.send("node-1", "node-0", "ping", {}, size=10)
+        sim.run()
+        assert network.messages_dropped == 1
+        assert len(network.inbox("node-0")) == 1
+        assert len(network.inbox("node-1")) == 1
+
+    def test_delay_rule_adds_latency(self, dataset):
+        fast = cluster(dataset)
+        result_fast = fast.run_query(base_query())
+        slow = cluster(dataset)
+        slow.start()
+        slow.network.add_delay_rule(0.0, 1e9, extra=0.05)
+        result_slow = slow.run_query(base_query())
+        assert result_slow.latency > result_fast.latency + 0.05
+        assert result_slow.matches(result_fast)
+
+
+class TestInjectorValidation:
+    def test_unknown_node_rejected(self, dataset):
+        system = cluster(dataset)
+        system.start()
+        injector = FaultInjector(
+            system, FaultSchedule((FaultEvent(kind="crash", at=1.0, node="node-9"),))
+        )
+        with pytest.raises(FaultError, match="unknown node"):
+            injector.install()
+
+    def test_past_fault_rejected(self, dataset):
+        system = cluster(dataset)
+        system.start()
+        system.sim.run(until=system.sim.timeout(5.0))
+        injector = FaultInjector(
+            system, FaultSchedule((FaultEvent(kind="crash", at=1.0, node="node-0"),))
+        )
+        with pytest.raises(FaultError, match="before the current sim time"):
+            injector.install()
+
+
+class TestCrashRecovery:
+    def test_queries_survive_crash_and_restart(self, dataset):
+        queries = [base_query(i) for i in range(30)]
+        probe = cluster(dataset)
+        target = probe.coordinator_for(queries[0])
+
+        faults = FaultConfig(
+            enabled=True,
+            schedule=tuple(FaultSchedule.crash_restart(target, 0.5, 3.0)),
+            **FAST_FAULTS,
+        )
+        system = cluster(dataset, faults)
+        results = system.run_open_loop(queries, rate=5.0, seed=7)
+        system.drain()
+
+        # Hard acceptance: nothing hangs, every query gets an answer.
+        assert len(results) == len(queries)
+        # The crash really happened and peers failed over.
+        assert system.fault_counters.get("node_crashes") == 1
+        assert system.fault_counters.get("node_restarts") == 1
+        assert system.network.messages_dropped > 0
+        assert system.membership.failovers >= 1
+        # After the restart the membership healed.
+        assert system.membership.live_nodes() == system.node_ids
+        # Degraded answers are explicit, never fabricated.
+        for result in results:
+            assert 0.0 <= result.completeness <= 1.0
+            if result.degraded:
+                assert result.completeness < 1.0
+
+    def test_crash_wipes_volatile_state(self, dataset):
+        system = cluster(dataset)
+        query = base_query()
+        system.run_query(query)
+        system.drain()
+        target = system.coordinator_for(query)
+        node = system.nodes[target]
+        assert len(node.graph) > 0
+        node.crash()
+        assert len(node.graph) == 0
+        assert len(node.guest) == 0
+        assert node.counters.get("crashes") == 1
+
+    def test_degraded_answer_when_owner_stays_dead(self, dataset):
+        query = base_query()
+        probe = cluster(dataset)
+        target = probe.coordinator_for(query)
+        # Crash the hot coordinator at t=0 and never restart it.
+        faults = FaultConfig(
+            enabled=True,
+            schedule=(FaultEvent(kind="crash", at=0.0, node=target),),
+            **FAST_FAULTS,
+        )
+        system = cluster(dataset, faults)
+        result = system.run_query(query)
+        system.drain()
+        # The client failed over to a live coordinator; blocks homed on
+        # the dead node are unreachable, so the answer is partial and
+        # says so.
+        assert not system.membership.is_live(target)
+        assert result.degraded
+        assert 0.0 <= result.completeness < 1.0
+        assert result.provenance.get("cells_unresolved", 0) > 0
+
+    def test_slow_disk_window(self, dataset):
+        query = base_query()
+        healthy = cluster(dataset)
+        baseline = healthy.run_query(query)
+        schedule = (
+            FaultEvent(
+                kind="slow_disk", at=0.0, until=1e6, node=n, factor=50.0
+            )
+            for n in [f"node-{i}" for i in range(4)]
+        )
+        system = cluster(dataset, FaultConfig(schedule=tuple(schedule)))
+        slowed = system.run_query(query)
+        assert slowed.latency > baseline.latency
+        assert slowed.matches(baseline)
+
+
+class TestDeterminism:
+    def test_inactive_layer_changes_nothing(self, dataset):
+        """enabled=False + empty schedule == the pre-fault-layer system."""
+        queries = [base_query(i) for i in range(10)]
+        runs = []
+        for _ in range(2):
+            system = cluster(dataset)
+            results = system.run_open_loop(
+                [q.panned(0, 0) for q in queries], rate=50.0, seed=3
+            )
+            system.drain()
+            runs.append(results)
+        for a, b in zip(*runs):
+            assert a.latency == b.latency
+            assert a.provenance == b.provenance
+            assert set(a.cells) == set(b.cells)
+            assert a.completeness == 1.0
+
+    def test_idle_fault_machinery_preserves_results(self, dataset):
+        """enabled=True with no faults: same answers, nothing degraded."""
+        queries = [base_query(i) for i in range(10)]
+        plain = cluster(dataset)
+        plain_results = plain.run_serial([q.panned(0, 0) for q in queries])
+        armed = cluster(dataset, FaultConfig(enabled=True, **FAST_FAULTS))
+        armed_results = armed.run_serial([q.panned(0, 0) for q in queries])
+        for a, b in zip(plain_results, armed_results):
+            assert b.matches(a)
+            assert b.completeness == 1.0
+        assert armed.fault_counters.get("client_timeouts") == 0
+        assert armed.membership.failovers == 0

@@ -1,0 +1,117 @@
+"""FaultEvent / FaultSchedule validation and serialization."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+
+class TestFaultEvent:
+    def test_valid_crash(self):
+        event = FaultEvent(kind="crash", at=1.0, node="node-0")
+        assert event.kind == "crash"
+
+    def test_unknown_kind(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultEvent(kind="meteor", at=1.0, node="node-0")
+
+    def test_negative_time(self):
+        with pytest.raises(FaultError, match=">= 0"):
+            FaultEvent(kind="crash", at=-0.5, node="node-0")
+
+    def test_crash_needs_node(self):
+        with pytest.raises(FaultError, match="needs a node"):
+            FaultEvent(kind="crash", at=1.0)
+
+    def test_window_needs_until(self):
+        with pytest.raises(FaultError, match="until > at"):
+            FaultEvent(kind="slow_disk", at=2.0, node="node-0")
+        with pytest.raises(FaultError, match="until > at"):
+            FaultEvent(kind="drop_link", at=2.0, until=2.0)
+
+    def test_slow_disk_factor_positive(self):
+        with pytest.raises(FaultError, match="factor"):
+            FaultEvent(kind="slow_disk", at=1.0, until=2.0, node="n", factor=0.0)
+
+    def test_delay_link_extra_positive(self):
+        with pytest.raises(FaultError, match="extra"):
+            FaultEvent(kind="delay_link", at=1.0, until=2.0, extra=0.0)
+
+    def test_to_dict_omits_defaults(self):
+        event = FaultEvent(kind="crash", at=1.0, node="node-0")
+        assert event.to_dict() == {"kind": "crash", "at": 1.0, "node": "node-0"}
+
+
+class TestFaultSchedule:
+    def test_sorted_by_time(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="restart", at=5.0, node="node-0"),
+                FaultEvent(kind="crash", at=1.0, node="node-0"),
+            )
+        )
+        assert [e.at for e in schedule] == [1.0, 5.0]
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(FaultError, match="crashed twice"):
+            FaultSchedule(
+                (
+                    FaultEvent(kind="crash", at=1.0, node="node-0"),
+                    FaultEvent(kind="crash", at=2.0, node="node-0"),
+                )
+            )
+
+    def test_restart_without_crash_rejected(self):
+        with pytest.raises(FaultError, match="without a preceding crash"):
+            FaultSchedule((FaultEvent(kind="restart", at=1.0, node="node-0"),))
+
+    def test_crash_without_restart_allowed(self):
+        schedule = FaultSchedule((FaultEvent(kind="crash", at=1.0, node="node-0"),))
+        assert len(schedule) == 1
+
+    def test_nodes(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="crash", at=1.0, node="node-1"),
+                FaultEvent(kind="drop_link", at=0.0, until=9.0, src="node-2"),
+            )
+        )
+        assert set(schedule.nodes()) == {"node-1", "node-2"}
+
+    def test_json_round_trip_exact(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="crash", at=1.0, node="node-0"),
+                FaultEvent(kind="restart", at=5.0, node="node-0"),
+                FaultEvent(kind="slow_disk", at=2.0, until=4.0, node="node-1", factor=3.0),
+                FaultEvent(kind="delay_link", at=0.0, until=9.0, extra=0.1),
+            )
+        )
+        text = schedule.to_json()
+        again = FaultSchedule.from_json(text)
+        assert again.events == schedule.events
+        assert again.to_json() == text
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultError, match="unknown fields"):
+            FaultSchedule.from_dict(
+                {"events": [{"kind": "crash", "at": 1.0, "node": "n", "blast": 9}]}
+            )
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultError, match="invalid fault schedule JSON"):
+            FaultSchedule.from_json("{nope")
+        with pytest.raises(FaultError, match="events"):
+            FaultSchedule.from_json("[1, 2]")
+
+    def test_crash_restart_builder(self):
+        schedule = FaultSchedule.crash_restart("node-3", 2.0, 7.0)
+        assert [e.kind for e in schedule] == ["crash", "restart"]
+        assert schedule.nodes() == ["node-3"]
+        with pytest.raises(FaultError, match="after"):
+            FaultSchedule.crash_restart("node-3", 7.0, 2.0)
+
+    def test_load(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(FaultSchedule.crash_restart("n", 1.0, 2.0).to_json())
+        assert len(FaultSchedule.load(str(path))) == 2
