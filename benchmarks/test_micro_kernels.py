@@ -51,6 +51,60 @@ def test_partition_into_blocks_100k(benchmark, batch):
     assert sum(len(b) for b in blocks.values()) == len(batch)
 
 
+@pytest.fixture(scope="module")
+def bench_graph():
+    from repro.bench.kernels import build_bench_graph
+
+    return build_bench_graph(20_000, seed=42)
+
+
+def test_eviction_scoring_vectorized_20k(benchmark, bench_graph):
+    from repro.core.eviction import rank_victims, rank_victims_scalar
+
+    graph, tracker, _keys, now = bench_graph
+    excess = len(graph) // 5
+
+    victims = benchmark(rank_victims, graph, tracker.decay_rate, now, excess)
+    assert len(victims) == excess
+    # Fast-but-wrong guard: must match the scalar reference exactly.
+    assert victims == rank_victims_scalar(graph, tracker, now, excess)
+
+
+def test_eviction_scoring_scalar_20k(benchmark, bench_graph):
+    from repro.core.eviction import rank_victims_scalar
+
+    graph, tracker, _keys, now = bench_graph
+    excess = len(graph) // 5
+
+    victims = benchmark(rank_victims_scalar, graph, tracker, now, excess)
+    assert len(victims) == excess
+
+
+def test_touch_batch_512_of_20k(benchmark, bench_graph):
+    graph, tracker, keys, now = bench_graph
+    footprint = keys[:512]
+
+    touched = benchmark(
+        graph.touch_batch,
+        footprint,
+        tracker.config.f_inc,
+        now,
+        tracker.decay_rate,
+        True,
+    )
+    assert touched == len(footprint)
+
+
+def test_plan_query_512_of_20k(benchmark, bench_graph):
+    from repro.core.planner import plan_query
+
+    graph, _tracker, keys, _now = bench_graph
+    footprint = keys[:512]
+
+    plan = benchmark(plan_query, graph, footprint, ["temperature"])
+    assert len(plan.found) == len(footprint)
+
+
 def test_scan_kernel_one_query(benchmark, batch):
     from repro.geo.bbox import BoundingBox
     from repro.geo.resolution import Resolution

@@ -1,0 +1,282 @@
+"""Wall-clock micro-kernel harness: the cache/query hot-path trajectory.
+
+Unlike the figure experiments (which report *simulated* seconds), this
+harness measures real wall-clock time of the inner kernels every query
+pays for — eviction scoring, batched freshness touches, footprint
+planning, owner grouping, and grouped aggregation — at several graph
+sizes, and records the results as ``BENCH_kernels.json``.  Re-running it
+per PR (the CI ``bench-smoke`` job) keeps a perf trajectory: a hot-path
+regression shows up as a kernel's seconds drifting upward between
+commits.
+
+Where a kernel has both a vectorized and a scalar implementation
+(eviction scoring, touch), both are timed and a ``speedup`` ratio is
+reported; the vectorized path must also produce *identical* results,
+which :mod:`tests.core.test_vectorized_freshness` and the assertions in
+``benchmarks/test_micro_kernels.py`` enforce.
+
+Run via::
+
+    python -m repro bench kernels [--quick] [--output BENCH_kernels.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.config import FreshnessConfig
+from repro.core.cell import Cell
+from repro.core.eviction import rank_victims, rank_victims_scalar
+from repro.core.freshness import FreshnessTracker
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.core.planner import plan_query
+from repro.data.statistics import SummaryVector
+from repro.dht.partitioner import PrefixPartitioner
+from repro.geo.geohash import GEOHASH_ALPHABET
+from repro.geo.resolution import ResolutionSpace
+from repro.geo.temporal import TimeKey
+
+#: Graph sizes (resident cells) the full harness sweeps.  50k is the
+#: size the acceptance gate reads the eviction-scoring speedup at.
+DEFAULT_SIZES = (2_000, 10_000, 50_000)
+#: Reduced sweep for the CI smoke job.
+QUICK_SIZES = (2_000, 10_000)
+
+#: Keys per simulated query footprint for touch/plan kernels.
+FOOTPRINT_KEYS = 512
+
+_DAY = TimeKey.of(2013, 2, 2)
+
+
+def _random_geohashes(rng: np.random.Generator, count: int, precision: int) -> list[str]:
+    """``count`` distinct random geohash strings of one precision."""
+    space = 32**precision
+    codes = rng.choice(space, size=count, replace=False)
+    out = []
+    for code in codes.tolist():
+        chars = []
+        for _ in range(precision):
+            code, value = divmod(code, 32)
+            chars.append(GEOHASH_ALPHABET[value])
+        out.append("".join(reversed(chars)))
+    return out
+
+
+def build_bench_graph(
+    num_cells: int, seed: int = 42
+) -> tuple[StashGraph, FreshnessTracker, list[CellKey], float]:
+    """A warmed graph of ``num_cells`` cells with a varied touch history.
+
+    Cells span two levels (precision 5 and its precision-4 parents) so
+    the per-level column layout is exercised; a few rounds of randomized
+    touches at spread-out times give every cell a distinct
+    ``(freshness, last_touch)`` pair, which is what the eviction kernel
+    has to rank.  Returns ``(graph, tracker, keys, now)``.
+    """
+    rng = np.random.default_rng(seed)
+    fine = max(1, int(num_cells * 0.9))
+    coarse = num_cells - fine
+    summary = SummaryVector.from_arrays({"temperature": np.array([1.0])})
+    graph = StashGraph(ResolutionSpace(1, 8), name="bench")
+    keys: list[CellKey] = []
+    for code in _random_geohashes(rng, fine, 5):
+        keys.append(CellKey(code, _DAY))
+    if coarse:
+        for code in _random_geohashes(rng, coarse, 4):
+            keys.append(CellKey(code, _DAY))
+    for key in keys:
+        graph.upsert(Cell(key=key, summary=summary))
+    tracker = FreshnessTracker(FreshnessConfig())
+    now = 0.0
+    for round_index in range(4):
+        now = float(round_index) * 30.0
+        sample = rng.choice(len(keys), size=max(1, len(keys) // 3), replace=False)
+        tracker.touch_cells(graph, [keys[i] for i in sample.tolist()], now)
+    return graph, tracker, keys, now + 60.0
+
+
+def _time_best(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _touch_scalar(graph: StashGraph, keys: list[CellKey], amount: float,
+                  now: float, decay_rate: float) -> int:
+    """The pre-vectorization per-cell touch loop (baseline)."""
+    touched = 0
+    for key in keys:
+        cell = graph.get(key)
+        if cell is not None:
+            cell.touched(amount, now, decay_rate)
+            cell.access_count += 1
+            touched += 1
+    return touched
+
+
+def _group_by_owner_naive(partitioner, keys: list[CellKey]) -> dict:
+    """Owner resolution once per *cell* (the pre-PR planner)."""
+    grouped: dict[str, list[CellKey]] = {}
+    for key in keys:
+        grouped.setdefault(partitioner.node_for(key.geohash), []).append(key)
+    return grouped
+
+
+def _group_by_owner_memo(partitioner, keys: list[CellKey]) -> dict:
+    """Owner resolution once per *geohash* (the owner-grouped planner)."""
+    grouped: dict[str, list[CellKey]] = {}
+    memo: dict[str, str] = {}
+    for key in keys:
+        owner = memo.get(key.geohash)
+        if owner is None:
+            owner = memo[key.geohash] = partitioner.node_for(key.geohash)
+        grouped.setdefault(owner, []).append(key)
+    return grouped
+
+
+def run_kernels(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    repeats: int = 5,
+    seed: int = 42,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Time every kernel at every size; returns the JSON-ready report."""
+    report: dict[str, Any] = {
+        "schema": "stash-bench-kernels/v1",
+        "quick": quick,
+        "sizes": list(sizes),
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels": {},
+    }
+    kernels: dict[str, dict[str, Any]] = report["kernels"]
+
+    for size in sizes:
+        graph, tracker, keys, now = build_bench_graph(size, seed=seed)
+        rng = np.random.default_rng(seed + size)
+        excess = max(1, size // 5)
+
+        # -- eviction scoring: rank the `excess` stalest cells ----------
+        vec = _time_best(
+            lambda: rank_victims(graph, tracker.decay_rate, now, excess), repeats
+        )
+        scalar = _time_best(
+            lambda: rank_victims_scalar(graph, tracker, now, excess), repeats
+        )
+        victims_vec = rank_victims(graph, tracker.decay_rate, now, excess)
+        victims_scalar = rank_victims_scalar(graph, tracker, now, excess)
+        if victims_vec != victims_scalar:
+            raise AssertionError(
+                f"vectorized victim set diverged from scalar at {size} cells"
+            )
+        kernels.setdefault("eviction_scoring", {})[str(size)] = {
+            "excess": excess,
+            "vectorized_s": vec,
+            "scalar_s": scalar,
+            "speedup": scalar / vec if vec > 0 else float("inf"),
+        }
+
+        # -- batched freshness touch over one footprint -----------------
+        sample = rng.choice(
+            len(keys), size=min(FOOTPRINT_KEYS, len(keys)), replace=False
+        )
+        footprint = [keys[i] for i in sample.tolist()]
+        f_inc = tracker.config.f_inc
+        rate = tracker.decay_rate
+        vec = _time_best(
+            lambda: graph.touch_batch(footprint, f_inc, now, rate, count_access=True),
+            repeats,
+        )
+        scalar = _time_best(
+            lambda: _touch_scalar(graph, footprint, f_inc, now, rate), repeats
+        )
+        kernels.setdefault("touch", {})[str(size)] = {
+            "footprint_keys": len(footprint),
+            "vectorized_s": vec,
+            "scalar_s": scalar,
+            "speedup": scalar / vec if vec > 0 else float("inf"),
+        }
+
+        # -- footprint planning over the graph (cache-hit path) ---------
+        plan_s = _time_best(
+            lambda: plan_query(graph, footprint, ["temperature"]), repeats
+        )
+        kernels.setdefault("plan", {})[str(size)] = {
+            "footprint_keys": len(footprint),
+            "seconds": plan_s,
+        }
+
+        # -- owner grouping: per-cell vs per-geohash DHT resolution -----
+        partitioner = PrefixPartitioner([f"node-{i}" for i in range(16)], 2)
+        day_keys = [
+            CellKey(key.geohash, _DAY.step(offset))
+            for key in footprint
+            for offset in range(6)
+        ]
+        naive = _time_best(
+            lambda: _group_by_owner_naive(partitioner, day_keys), repeats
+        )
+        memo = _time_best(
+            lambda: _group_by_owner_memo(partitioner, day_keys), repeats
+        )
+        if _group_by_owner_memo(partitioner, day_keys) != _group_by_owner_naive(
+            partitioner, day_keys
+        ):
+            raise AssertionError("owner-grouped planning diverged from naive")
+        kernels.setdefault("owner_grouping", {})[str(size)] = {
+            "cells": len(day_keys),
+            "memoized_s": memo,
+            "naive_s": naive,
+            "speedup": naive / memo if memo > 0 else float("inf"),
+        }
+
+    # -- grouped aggregation (scan kernel, size-independent) ------------
+    from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
+    from repro.data.statistics import grouped_summaries
+
+    records = 20_000 if quick else 100_000
+    spec = DatasetSpec(num_records=records, start_day=(2013, 2, 1), num_days=2)
+    batch = SyntheticNAMGenerator(spec).generate()
+    from repro.geo.temporal import TemporalResolution
+
+    bin_keys = batch.bin_keys(4, TemporalResolution.DAY)
+    agg_s = _time_best(lambda: grouped_summaries(bin_keys, batch.attributes), repeats)
+    kernels["grouped_aggregation"] = {
+        str(records): {"records": records, "seconds": agg_s}
+    }
+    return report
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable table of one harness run."""
+    lines = [
+        f"== bench kernels (quick={report['quick']}, repeats={report['repeats']})"
+    ]
+    for kernel, by_size in report["kernels"].items():
+        for size, entry in by_size.items():
+            parts = [f"{kernel:>20} @ {size:>7}"]
+            for field in ("vectorized_s", "scalar_s", "memoized_s", "naive_s", "seconds"):
+                if field in entry:
+                    parts.append(f"{field}={entry[field] * 1e3:9.3f} ms")
+            if "speedup" in entry:
+                parts.append(f"speedup={entry['speedup']:6.2f}x")
+            lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -7,6 +7,7 @@ Examples::
         --day 2013-02-03 --spatial 4 --heatmap temperature
     python -m repro experiment fig6a
     python -m repro experiment all --scale unit
+    python -m repro bench kernels --quick
 """
 
 from __future__ import annotations
@@ -162,6 +163,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.5,
         help="client-side whole-query timeout (s)",
+    )
+
+    be = sub.add_parser(
+        "bench", help="wall-clock micro-benchmarks of the hot-path kernels"
+    )
+    be_sub = be.add_subparsers(dest="bench_command", required=True)
+    bk = be_sub.add_parser(
+        "kernels",
+        help="time eviction/touch/plan/aggregation kernels, write a JSON report",
+    )
+    bk.add_argument(
+        "--quick", action="store_true",
+        help="smaller sizes and dataset (the CI smoke configuration)",
+    )
+    bk.add_argument(
+        "--sizes", help="comma-separated graph sizes overriding the sweep"
+    )
+    bk.add_argument("--repeats", type=int, default=5, help="best-of-N timing")
+    bk.add_argument("--seed", type=int, default=42)
+    bk.add_argument(
+        "--output", default="BENCH_kernels.json", help="report path ('-' to skip)"
     )
 
     mt = sub.add_parser(
@@ -448,6 +470,45 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.kernels import (
+        DEFAULT_SIZES,
+        QUICK_SIZES,
+        format_report,
+        run_kernels,
+        write_report,
+    )
+
+    if args.sizes:
+        try:
+            sizes = tuple(int(v) for v in args.sizes.split(","))
+        except ValueError:
+            print(f"error: --sizes must be comma-separated ints, got {args.sizes!r}",
+                  file=sys.stderr)
+            return 2
+        if any(size <= 0 for size in sizes):
+            print("error: --sizes values must be positive", file=sys.stderr)
+            return 2
+    else:
+        sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
+    if args.repeats <= 0:
+        print(f"error: --repeats must be positive, got {args.repeats}",
+              file=sys.stderr)
+        return 2
+    report = run_kernels(
+        sizes=sizes, repeats=args.repeats, seed=args.seed, quick=args.quick
+    )
+    print(format_report(report))
+    if args.output != "-":
+        try:
+            write_report(report, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote report to {args.output}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.config import ObservabilityConfig
     from repro.workload.trace import replay_trace
@@ -488,6 +549,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")

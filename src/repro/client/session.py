@@ -55,6 +55,9 @@ class SessionStats:
     cells_served_locally: int = 0
     #: Cells fetched from the server across all queries.
     cells_fetched: int = 0
+    #: Fetched keys left uncached because a degraded (completeness < 1)
+    #: reply could not say whether they are empty or just unreachable.
+    degraded_cells_skipped: int = 0
     prefetches_issued: int = 0
     history: list[AggregationQuery] = field(default_factory=list)
 
@@ -79,9 +82,14 @@ class ExplorationSession:
         self.stats = SessionStats()
         self._cache_capacity = client_cache_cells
         if client_cache_cells > 0:
-            self._graph: StashGraph | None = StashGraph(
-                ResolutionSpace(1, 8), name="client"
-            )
+            # The mini graph mirrors the *cluster's* resolution space so
+            # client drill/roll levels can never diverge from the server's
+            # level arithmetic; engines without a configured space (the
+            # baselines) fall back to the full default space.
+            space = getattr(system, "space", None)
+            if space is None:
+                space = ResolutionSpace(1, 8)
+            self._graph: StashGraph | None = StashGraph(space, name="client")
             self._tracker = FreshnessTracker(FreshnessConfig())
             self._eviction = EvictionPolicy(
                 EvictionConfig(max_cells=client_cache_cells, safe_fraction=0.8)
@@ -225,7 +233,16 @@ class ExplorationSession:
         empty = SummaryVector.empty(self.system.attribute_names)
         merged = dict(found)
         for key in fetched_keys:
-            vec = result.cells.get(key, empty)
+            vec = result.cells.get(key)
+            if vec is None:
+                if result.degraded:
+                    # A degraded reply omits cells it could not resolve;
+                    # caching them as known-empty would poison every later
+                    # client-local answer (the same rule the server's
+                    # _resolve_missing applies to its own cache).
+                    self.stats.degraded_cells_skipped += 1
+                    continue
+                vec = empty
             merged[key] = vec
             self._graph.upsert(Cell(key=key, summary=vec))
         self._touch(footprint)
@@ -239,6 +256,7 @@ class ExplorationSession:
             cells={k: v for k, v in merged.items() if not v.is_empty},
             latency=result.latency,
             provenance=provenance,
+            completeness=result.completeness,
         )
 
     def _now(self) -> float:

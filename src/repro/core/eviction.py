@@ -4,17 +4,98 @@
 freshness score till the capacity goes below a safe limit" (paper V-C-2).
 Combined with freshness dispersion, whole hot regions survive eviction
 as connected areas.
+
+Victim selection is vectorized: the graph's per-level freshness columns
+are scored with one ``exp`` over a dense array (:func:`rank_victims`),
+then only the boundary candidates pay the ``str(key)`` tie-break — the
+scalar path paid a Python-level score *and* a key stringification for
+every resident cell.  Both paths share ``np.exp`` so they produce
+byte-equal scores; :func:`rank_victims_scalar` keeps the scalar form as
+the equivalence oracle and benchmark baseline.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
+
+import numpy as np
 
 from repro.config import EvictionConfig
 from repro.core.freshness import FreshnessTracker
 from repro.core.graph import StashGraph
 from repro.core.keys import CellKey
 from repro.errors import CacheError
+
+
+def rank_victims(
+    graph: StashGraph, decay_rate: float, now: float, excess: int
+) -> list[CellKey]:
+    """The ``excess`` stalest cells, ordered by (decayed score, str(key)).
+
+    Vectorized equivalent of ranking every cell by
+    ``(tracker.score(cell, now), str(cell.key))`` and taking the first
+    ``excess``: scores are computed columnwise, a partition finds the
+    cut-off score, and only ties at the cut-off are broken by key string.
+    """
+    if excess <= 0:
+        return []
+    levels = list(graph.freshness_columns())
+    if not levels:
+        return []
+    parts = []
+    offsets = [0]
+    for columns in levels:
+        size = columns.size
+        freshness = columns.freshness[:size]
+        elapsed = np.maximum(0.0, now - columns.last_touch[:size])
+        parts.append(freshness * np.exp(-decay_rate * elapsed))
+        offsets.append(offsets[-1] + size)
+    scores = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    total = scores.shape[0]
+    excess = min(excess, total)
+
+    def key_at(index: int) -> CellKey:
+        level_index = bisect_right(offsets, index) - 1
+        return levels[level_index].keys[index - offsets[level_index]]
+
+    if excess == total:
+        chosen = np.arange(total)
+    else:
+        cutoff = np.partition(scores, excess - 1)[excess - 1]
+        below = np.flatnonzero(scores < cutoff)
+        need = excess - below.shape[0]
+        at_cutoff = np.flatnonzero(scores == cutoff)
+        if need < at_cutoff.shape[0]:
+            # Break score ties exactly as the scalar total order does:
+            # ascending key string.
+            tied = sorted(at_cutoff.tolist(), key=lambda i: str(key_at(i)))[:need]
+        else:
+            tied = at_cutoff.tolist()
+        chosen = np.concatenate([below, np.asarray(tied, dtype=np.intp)])
+    ranked = sorted(
+        ((float(scores[i]), str(key_at(i)), key_at(i)) for i in chosen.tolist()),
+        key=lambda item: (item[0], item[1]),
+    )
+    return [key for _, _, key in ranked]
+
+
+def rank_victims_scalar(
+    graph: StashGraph, tracker: FreshnessTracker, now: float, excess: int
+) -> list[CellKey]:
+    """Reference scalar ranking via ``tracker.score`` per cell.
+
+    The pre-vectorization implementation, kept as the equivalence oracle
+    for tests and the baseline the kernel benchmark compares against.
+    ``nsmallest`` over the (score, key) total order matches the sorted
+    prefix exactly (keys are unique).
+    """
+    ranked = heapq.nsmallest(
+        excess,
+        graph.cells(),
+        key=lambda cell: (tracker.score(cell, now), str(cell.key)),
+    )
+    return [cell.key for cell in ranked]
 
 
 class EvictionPolicy:
@@ -45,18 +126,8 @@ class EvictionPolicy:
         """
         if not self.over_threshold(graph):
             return []
-        target = self.safe_limit
-        excess = len(graph) - target
-        # nsmallest is O(n log excess) vs a full O(n log n) sort, and the
-        # (score, key) tuple is a total order (keys are unique), so the
-        # victim set and its ordering match the sorted()[:excess] form
-        # exactly.
-        ranked = heapq.nsmallest(
-            excess,
-            graph.cells(),
-            key=lambda cell: (tracker.score(cell, now), str(cell.key)),
-        )
-        victims = [cell.key for cell in ranked]
+        excess = len(graph) - self.safe_limit
+        victims = rank_victims(graph, tracker.decay_rate, now, excess)
         for key in victims:
             graph.remove(key)
         self.evictions += len(victims)

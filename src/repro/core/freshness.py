@@ -18,7 +18,16 @@ from repro.core.keys import CellKey
 
 
 class FreshnessTracker:
-    """Applies freshness updates to cells of one node's graph."""
+    """Applies freshness updates to cells of one node's graph.
+
+    Updates are *batched*: both touch flavors hand the whole key list to
+    :meth:`~repro.core.graph.StashGraph.touch_batch`, which applies the
+    decay + increment as one vectorized column update per graph level
+    instead of a Python loop over cells.  Scoring (:meth:`score`) stays a
+    per-cell read for diagnostic callers; the eviction hot path scores the
+    whole graph at once via :func:`repro.core.eviction.rank_victims`,
+    which is bit-identical to this scalar form (both use ``np.exp``).
+    """
 
     def __init__(self, config: FreshnessConfig):
         self.config = config
@@ -32,27 +41,16 @@ class FreshnessTracker:
         Returns the number of cells actually touched (absent keys are
         skipped — only resident cells carry freshness).
         """
-        touched = 0
-        for key in keys:
-            cell = graph.get(key)
-            if cell is not None:
-                cell.touched(self.config.f_inc, now, self.decay_rate)
-                cell.access_count += 1
-                touched += 1
-        return touched
+        return graph.touch_batch(
+            keys, self.config.f_inc, now, self.decay_rate, count_access=True
+        )
 
     def disperse_to_neighborhood(
         self, graph, ring_keys: list[CellKey], now: float
     ) -> int:
         """Neighborhood dispersion: fraction of ``f_inc`` to ring cells."""
         amount = self.config.f_inc * self.config.dispersion_fraction
-        touched = 0
-        for key in ring_keys:
-            cell = graph.get(key)
-            if cell is not None:
-                cell.touched(amount, now, self.decay_rate)
-                touched += 1
-        return touched
+        return graph.touch_batch(ring_keys, amount, now, self.decay_rate)
 
     def score(self, cell, now: float) -> float:
         """Current decayed freshness of a cell (no mutation)."""

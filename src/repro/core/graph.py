@@ -9,11 +9,21 @@ Empty cells (zero observations) are stored explicitly: presence of a key
 — empty or not — means "this bin's value is known and complete", which is
 what makes roll-up recomputation sound (a missing child might have
 unscanned data on disk; an empty child is known to have none).
+
+Freshness bookkeeping is stored *columnar*: each level carries a
+:class:`FreshnessColumns` block of dense numpy arrays ``(freshness,
+last_touch, access_count)`` aligned with a slot map, so the per-query
+freshness touch is one gather/scatter (:meth:`StashGraph.touch_batch`)
+and whole-graph eviction scoring is one vectorized ``exp`` per level
+(:func:`repro.core.eviction.rank_victims`) instead of a Python loop over
+every resident cell.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
+
+import numpy as np
 
 from repro.core.cell import Cell
 from repro.core.keys import CellKey
@@ -21,6 +31,73 @@ from repro.core.plm import PrecisionLevelMap
 from repro.data.block import BlockId
 from repro.errors import CacheError
 from repro.geo.resolution import ResolutionSpace
+
+#: Initial slot capacity of a level's column block.
+_MIN_CAPACITY = 64
+
+
+class FreshnessColumns:
+    """Dense per-level freshness columns with a key -> slot index.
+
+    Slots are kept dense with swap-remove: deleting a slot moves the last
+    slot into the hole, so ``freshness[:size]`` is always a gap-free view
+    the eviction kernel can score in one vectorized pass.
+    """
+
+    __slots__ = ("keys", "slot_of", "freshness", "last_touch", "access_count", "size")
+
+    def __init__(self) -> None:
+        #: Slot -> cell key (dense prefix of length ``size``).
+        self.keys: list[CellKey] = []
+        #: Cell key -> slot.
+        self.slot_of: dict[CellKey, int] = {}
+        self.freshness = np.zeros(_MIN_CAPACITY, dtype=np.float64)
+        self.last_touch = np.zeros(_MIN_CAPACITY, dtype=np.float64)
+        self.access_count = np.zeros(_MIN_CAPACITY, dtype=np.int64)
+        self.size = 0
+
+    def _grow(self) -> None:
+        capacity = max(_MIN_CAPACITY, 2 * self.freshness.shape[0])
+        for name in ("freshness", "last_touch", "access_count"):
+            old = getattr(self, name)
+            new = np.zeros(capacity, dtype=old.dtype)
+            new[: self.size] = old[: self.size]
+            setattr(self, name, new)
+
+    def add(
+        self, key: CellKey, freshness: float, last_touch: float, access_count: int
+    ) -> int:
+        """Assign the next dense slot to ``key``; returns the slot."""
+        if self.size == self.freshness.shape[0]:
+            self._grow()
+        slot = self.size
+        self.keys.append(key)
+        self.slot_of[key] = slot
+        self.freshness[slot] = freshness
+        self.last_touch[slot] = last_touch
+        self.access_count[slot] = access_count
+        self.size += 1
+        return slot
+
+    def remove(self, key: CellKey) -> tuple[float, float, int]:
+        """Free a slot (swap-remove); returns its final column values."""
+        slot = self.slot_of.pop(key)
+        values = (
+            float(self.freshness[slot]),
+            float(self.last_touch[slot]),
+            int(self.access_count[slot]),
+        )
+        last = self.size - 1
+        if slot != last:
+            moved = self.keys[last]
+            self.keys[slot] = moved
+            self.slot_of[moved] = slot
+            self.freshness[slot] = self.freshness[last]
+            self.last_touch[slot] = self.last_touch[last]
+            self.access_count[slot] = self.access_count[last]
+        self.keys.pop()
+        self.size = last
+        return values
 
 
 class StashGraph:
@@ -31,6 +108,8 @@ class StashGraph:
         self.name = name
         #: level -> {cell key -> cell}
         self._levels: dict[int, dict[CellKey, Cell]] = {}
+        #: level -> columnar freshness store, parallel to ``_levels``.
+        self._columns: dict[int, FreshnessColumns] = {}
         self.plm = PrecisionLevelMap()
 
     # -- size ------------------------------------------------------------
@@ -75,6 +154,11 @@ class StashGraph:
         # "PLM already tracks" errors).
         self.plm.add(level, cell.key, backing_blocks)
         cells[cell.key] = cell
+        columns = self._columns.get(level)
+        if columns is None:
+            columns = self._columns[level] = FreshnessColumns()
+        columns.add(cell.key, cell.freshness, cell.last_touched, cell.access_count)
+        cell._attach(columns)
 
     def upsert(
         self, cell: Cell, backing_blocks: frozenset[BlockId] | None = None
@@ -97,6 +181,7 @@ class StashGraph:
             raise CacheError(f"cell {key} not cached in {self.name}")
         cell = cells.pop(key)
         self.plm.remove(level, key)
+        cell._detach(*self._columns[level].remove(key))
         return cell
 
     def clear(self) -> int:
@@ -105,7 +190,14 @@ class StashGraph:
         Returns the number of cells dropped.
         """
         dropped = len(self)
+        for level, cells in self._levels.items():
+            columns = self._columns.get(level)
+            if columns is None:
+                continue
+            for cell in cells.values():
+                cell._detach(*columns.remove(cell.key))
         self._levels.clear()
+        self._columns.clear()
         self.plm = PrecisionLevelMap()
         return dropped
 
@@ -117,6 +209,65 @@ class StashGraph:
 
     def cells_at_level(self, level: int) -> Iterator[Cell]:
         yield from self._levels.get(level, {}).values()
+
+    # -- columnar freshness kernels ----------------------------------------
+
+    def freshness_columns(self) -> Iterator[FreshnessColumns]:
+        """The non-empty per-level column blocks (eviction scoring input)."""
+        for columns in self._columns.values():
+            if columns.size:
+                yield columns
+
+    def touch_batch(
+        self,
+        keys: list[CellKey],
+        amount: float,
+        now: float,
+        decay_rate: float,
+        count_access: bool = False,
+    ) -> int:
+        """Apply one freshness increment to every *resident* key, batched.
+
+        Equivalent to calling ``cell.touched(amount, now, decay_rate)``
+        (plus an ``access_count`` bump when ``count_access``) on each
+        present cell, but the decay + increment runs as one vectorized
+        update per level.  Duplicate keys in one batch coalesce into a
+        single decay step carrying ``k * amount`` — identical to ``k``
+        scalar touches at the same ``now`` up to float associativity.
+        Returns the number of touches applied (absent keys are skipped —
+        only resident cells carry freshness).
+        """
+        slots_by_level: dict[int, list[int]] = {}
+        touched = 0
+        for key in keys:
+            level = self.level_of(key)
+            columns = self._columns.get(level)
+            if columns is None:
+                continue
+            slot = columns.slot_of.get(key)
+            if slot is None:
+                continue
+            slots_by_level.setdefault(level, []).append(slot)
+            touched += 1
+        for level, slots in slots_by_level.items():
+            columns = self._columns[level]
+            idx = np.asarray(slots, dtype=np.intp)
+            if idx.size > 1:
+                idx, counts = np.unique(idx, return_counts=True)
+                increments = amount * counts
+            else:
+                counts = None
+                increments = amount
+            freshness = columns.freshness
+            last_touch = columns.last_touch
+            elapsed = np.maximum(0.0, now - last_touch[idx])
+            freshness[idx] = (
+                freshness[idx] * np.exp(-decay_rate * elapsed) + increments
+            )
+            last_touch[idx] = now
+            if count_access:
+                columns.access_count[idx] += 1 if counts is None else counts
+        return touched
 
     # -- invalidation (real-time updates, paper IV-D) -----------------------
 

@@ -172,6 +172,26 @@ class StashNode(StorageNode):
             return self.membership.node_for(geohash)
         return self.partitioner.node_for(geohash)
 
+    def _group_by_owner(
+        self, keys: list[CellKey], owner_memo: dict[str, str]
+    ) -> dict[str, list[CellKey]]:
+        """Group cell keys by owning node, resolving each geohash once.
+
+        Ownership depends only on the geohash, and a footprint is a
+        (spatial cover x time keys) product, so resolving per *geohash*
+        instead of per cell cuts DHT lookups by the temporal width.  The
+        memo is shared across the footprint and ring of one evaluation
+        (ownership cannot change mid-call: there is no yield in between).
+        """
+        grouped: dict[str, list[CellKey]] = {}
+        for key in keys:
+            geohash = key.geohash
+            owner = owner_memo.get(geohash)
+            if owner is None:
+                owner = owner_memo[geohash] = self._owner_of(geohash)
+            grouped.setdefault(owner, []).append(key)
+        return grouped
+
     def _peer_live(self, node_id: str) -> bool:
         return self.membership is None or self.membership.is_live(node_id)
 
@@ -343,6 +363,14 @@ class StashNode(StorageNode):
             return
         self.guest_cliques.touch_covering(set(footprint), self.sim.now)
         cells = {k: v for k, v in plan.cached.items() if not v.is_empty}
+        # Match _evaluate_core's response contract exactly: the attribute
+        # projection applies to every answer path (a rerouted query must
+        # not return wider attribute sets than the same query served
+        # directly), and the reply carries an explicit completeness.
+        if query.attributes is not None:
+            cells = {
+                key: vec.project(query.attributes) for key, vec in cells.items()
+            }
         self.counters.increment("guest_queries_served")
         self.network.respond(
             message,
@@ -355,6 +383,7 @@ class StashNode(StorageNode):
                     "cells_from_disk": 0,
                     "disk_blocks_read": 0,
                 },
+                "completeness": 1.0,
             },
             size=len(cells) * self.cost.cell_wire_size,
         )
@@ -397,6 +426,12 @@ class StashNode(StorageNode):
             self.graph.upsert(
                 Cell(key=key, summary=rollup.summary), rollup.backing_blocks
             )
+        if plan.rollup:
+            # Rolled-up cells were absent during the touch above, so they
+            # would start at zero freshness — immediate eviction bait
+            # despite being created by this very access.  Credit them now
+            # that they are resident.
+            self.tracker.touch_cells(self.graph, list(plan.rollup), now)
         self.counters.increment("cells_served_from_cache", len(plan.cached))
         self.counters.increment("cells_served_from_rollup", len(plan.rollup))
         return {
@@ -515,12 +550,9 @@ class StashNode(StorageNode):
         carries ``completeness < 1.0`` (degraded, never hung).
         """
         ring = query_ring(query)
-        cells_by_owner: dict[str, list[CellKey]] = {}
-        for key in footprint:
-            cells_by_owner.setdefault(self._owner_of(key.geohash), []).append(key)
-        ring_by_owner: dict[str, list[CellKey]] = {}
-        for key in ring:
-            ring_by_owner.setdefault(self._owner_of(key.geohash), []).append(key)
+        owner_memo: dict[str, str] = {}
+        cells_by_owner = self._group_by_owner(footprint, owner_memo)
+        ring_by_owner = self._group_by_owner(ring, owner_memo)
 
         events = []
         legs: list[str] = []
@@ -699,8 +731,12 @@ class StashNode(StorageNode):
         # cells are never populated: caching an incomplete summary would
         # poison every later query with a silently wrong "complete" cell.
         by_owner: dict[str, dict[CellKey, SummaryVector]] = {}
+        owner_memo: dict[str, str] = {}
         for key, vec in new_cells.items():
-            by_owner.setdefault(self._owner_of(key.geohash), {})[key] = vec
+            owner = owner_memo.get(key.geohash)
+            if owner is None:
+                owner = owner_memo[key.geohash] = self._owner_of(key.geohash)
+            by_owner.setdefault(owner, {})[key] = vec
         for owner, cells in sorted(by_owner.items()):
             self.network.send(
                 self.node_id,

@@ -56,6 +56,13 @@ class AggregationQuery:
     #: :meth:`for_polygon` to construct these consistently.
     polygon: "object | None" = None
     query_id: int = field(default_factory=lambda: next(_query_ids))
+    #: Memoized :meth:`footprint` result.  A query object crosses several
+    #: evaluation sites (client session, coordinator, guest helper) that
+    #: each need the same cell cover; materializing it once removes the
+    #: dominant repeated planning cost.  Excluded from eq/hash/repr.
+    _footprint_cache: "list[CellKey] | None" = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     #: Safety valve against continental covers at street precision.
     MAX_FOOTPRINT_CELLS = 2_000_000
@@ -106,7 +113,14 @@ class AggregationQuery:
         This is the unit of work for both the cache lookup and the raw
         scan: the query answer is exactly the summaries of these cells
         (empty ones omitted).
+
+        The result is memoized on the (frozen) query: coordinators, guest
+        helpers, and client sessions all re-derive the same footprint for
+        one query object, so it is computed once and shared.  Callers must
+        treat the returned list as read-only.
         """
+        if self._footprint_cache is not None:
+            return self._footprint_cache
         bounding_size = covering_count(self.bbox, self.resolution.spatial) * len(
             self.time_range.covering_keys(self.resolution.temporal)
         )
@@ -117,9 +131,11 @@ class AggregationQuery:
             )
         spatial = self._spatial_cover()
         temporal = self.time_range.covering_keys(self.resolution.temporal)
-        return [
+        footprint = [
             CellKey(geohash=s, time_key=t) for s in spatial for t in temporal
         ]
+        object.__setattr__(self, "_footprint_cache", footprint)
+        return footprint
 
     def snapped_bbox(self) -> BoundingBox:
         """The query box snapped outward to cell boundaries.
