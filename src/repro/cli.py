@@ -186,6 +186,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_kernels.json", help="report path ('-' to skip)"
     )
 
+    cf = sub.add_parser(
+        "conform",
+        help="replay randomized workloads against the brute-force oracle",
+    )
+    cf.add_argument("--seed", type=int, default=0)
+    cf.add_argument(
+        "--quick", action="store_true",
+        help="small per-axis workloads (the CI smoke configuration)",
+    )
+    cf.add_argument(
+        "--queries-per-axis", type=int, default=None,
+        help="override the per-axis workload size",
+    )
+    cf.add_argument(
+        "--axis", action="append", dest="axes", metavar="NAME",
+        help="run only this axis (repeatable); default runs all",
+    )
+    cf.add_argument("--json", metavar="PATH", help="also dump the report as JSON")
+
     mt = sub.add_parser(
         "metrics", help="run a workload with periodic metric sampling"
     )
@@ -509,6 +528,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from repro.oracle import run_campaign
+    from repro.oracle.conformance import AXES
+
+    if args.axes:
+        unknown = sorted(set(args.axes) - set(AXES) - {"metamorphic"})
+        if unknown:
+            print(
+                f"error: unknown axis {unknown}; choose from "
+                f"{sorted(AXES) + ['metamorphic']}",
+                file=sys.stderr,
+            )
+            return 2
+    report = run_campaign(
+        seed=args.seed,
+        quick=args.quick,
+        queries_per_axis=args.queries_per_axis,
+        axes=args.axes,
+        progress=lambda line: print(f"  {line}", flush=True),
+    )
+    print()
+    print(report.format())
+    if args.json:
+        import json
+
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report.to_json_dict(), fh, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote report to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.config import ObservabilityConfig
     from repro.workload.trace import replay_trace
@@ -551,6 +605,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_faults(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "conform":
+        return _cmd_conform(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -29,6 +29,23 @@ class RollupResult:
     backing_blocks: frozenset[BlockId]
 
 
+def merge_summaries(
+    summaries: list[SummaryVector], attributes: list[str]
+) -> SummaryVector:
+    """Monoid-merge a complete set of child summaries into their parent.
+
+    Empty children contribute nothing; an all-empty (or empty) set yields
+    the explicit empty vector over ``attributes``.  This is the single
+    merge site of the roll-up path — the conformance harness's mutation
+    check (docs/testing.md) corrupts exactly this function to prove the
+    oracle campaign catches a broken roll-up.
+    """
+    nonempty = [s for s in summaries if not s.is_empty]
+    if not nonempty:
+        return SummaryVector.empty(attributes)
+    return SummaryVector.merge_all(nonempty)
+
+
 def _try_axis(
     graph: StashGraph, children: list[CellKey]
 ) -> tuple[list[Cell], bool]:
@@ -66,11 +83,7 @@ def try_rollup(
         cells, complete = _try_axis(graph, children)
         if not complete:
             continue
-        nonempty = [cell.summary for cell in cells if not cell.summary.is_empty]
-        if nonempty:
-            summary = SummaryVector.merge_all(nonempty)
-        else:
-            summary = SummaryVector.empty(attributes)
+        summary = merge_summaries([cell.summary for cell in cells], attributes)
         blocks: set[BlockId] = set()
         for cell in cells:
             blocks.update(graph.plm.blocks_of(graph.level_of(cell.key), cell.key))

@@ -201,6 +201,25 @@ class StashCluster(DistributedSystem):
             completeness=float(reply.get("completeness", 1.0)),
         )
 
+    def flush_caches(self) -> int:
+        """Drop every cached cell — local graphs, guest graphs, cliques.
+
+        The answer-changing state of a STASH cluster must live entirely
+        on disk; the in-memory layer is a pure accelerator.  Flushing it
+        (the most violent eviction possible) therefore must not change
+        any subsequent answer — the eviction-independence metamorphic
+        relation the conformance harness checks.  Routing tables are left
+        alone on purpose: a stale reroute must degrade to a guest
+        fallback, never to a wrong answer.  Returns cells dropped.
+        """
+        self.start()
+        dropped = 0
+        for node in self.nodes.values():
+            dropped += node.graph.clear()
+            dropped += node.guest.clear()
+            node.guest_cliques.clear()
+        return dropped
+
     # -- real-time updates (PLM path, paper IV-D) ------------------------------
 
     def invalidate_block(self, block_id: BlockId) -> int:

@@ -50,6 +50,21 @@ class QueryPlan:
             return 1.0
         return (len(self.cached) + len(self.rollup)) / total
 
+    def partition_ok(self, footprint: list[CellKey]) -> bool:
+        """Whether cached/rollup/missing exactly partition ``footprint``.
+
+        The planner's core invariant, exposed so the conformance harness
+        and unit tests can assert it on arbitrary plans instead of
+        re-deriving the three-way set algebra at every call site.
+        """
+        cached, rollup = set(self.cached), set(self.rollup)
+        missing = set(self.missing)
+        if cached & rollup or cached & missing or rollup & missing:
+            return False
+        if len(self.missing) != len(missing):
+            return False  # duplicate missing entries
+        return cached | rollup | missing == set(footprint)
+
 
 def plan_query(
     graph: StashGraph,

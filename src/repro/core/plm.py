@@ -84,3 +84,32 @@ class PrecisionLevelMap:
 
     def tracked_levels(self) -> list[int]:
         return sorted(level for level, cells in self._by_level.items() if cells)
+
+    def check_consistency(self) -> None:
+        """Assert the forward and reverse indexes mirror each other.
+
+        Every (cell -> blocks) entry must be reflected block-by-block in
+        the reverse index and vice versa, with no empty dangling reverse
+        entries.  Raises :class:`~repro.errors.CacheError` on the first
+        violation; used by the eviction/re-insert regression tests to
+        prove the remove path is the exact inverse of the insert path.
+        """
+        forward: dict[BlockId, set[CellKey]] = {}
+        for cells in self._by_level.values():
+            for key, blocks in cells.items():
+                for block_id in blocks:
+                    forward.setdefault(block_id, set()).add(key)
+        for block_id, dependents in self._by_block.items():
+            if not dependents:
+                raise CacheError(f"PLM reverse index has empty entry {block_id}")
+            if forward.get(block_id) != dependents:
+                raise CacheError(
+                    f"PLM reverse index for {block_id} disagrees with the "
+                    f"forward map: {sorted(map(str, dependents))} vs "
+                    f"{sorted(map(str, forward.get(block_id, ())))}"
+                )
+        missing = set(forward) - set(self._by_block)
+        if missing:
+            raise CacheError(
+                f"PLM forward map references untracked blocks {sorted(map(str, missing))}"
+            )

@@ -1,0 +1,681 @@
+"""Conformance campaigns: the full cluster vs the brute-force oracle.
+
+A campaign replays randomized exploration workloads through a freshly
+built :class:`~repro.core.cluster.StashCluster` under every configuration
+axis that could plausibly change an answer — cold cache, warm cache,
+eviction pressure, roll-up on/off, replication on/off, hotspot rerouting,
+fault schedules — and checks every result against
+:class:`~repro.oracle.engine.BruteForceOracle`.
+
+The comparison policy is the correctness contract of the whole system:
+
+* a **complete** answer (``completeness == 1``) must have exactly the
+  oracle's non-empty cell set, every value within ``approx_equal``
+  tolerance;
+* a **degraded** answer (``completeness < 1``) may *omit* cells, but
+  every cell it does return must match the oracle — partial answers are
+  explicit, never silently wrong, and a fabricated cell is a divergence
+  even when flagged degraded.
+
+When an axis diverges, the harness re-runs the failing query on the same
+(still live, still stateful) cluster and greedily shrinks it along
+spatial/temporal partitions to report a minimal failing query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    ClusterConfig,
+    EvictionConfig,
+    FaultConfig,
+    ReplicationConfig,
+    StashConfig,
+)
+from repro.core.cluster import StashCluster
+from repro.core.keys import CellKey
+from repro.data.generator import NAM_DOMAIN, conformance_dataset
+from repro.data.observation import ObservationBatch
+from repro.data.statistics import SummaryVector
+from repro.dht.partitioner import PrefixPartitioner
+from repro.faults.schedule import FaultEvent
+from repro.geo.bbox import BoundingBox
+from repro.geo.geohash import encode
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey, TimeRange
+from repro.oracle.engine import BruteForceOracle
+from repro.oracle.metamorphic import (
+    RelationFailure,
+    check_eviction_independence,
+    check_pan_consistency,
+    check_parent_children,
+    check_split_additivity,
+    describe_query,
+)
+from repro.query.model import AggregationQuery, QueryResult
+
+#: Value tolerance: production pairwise reductions vs the oracle's fsum.
+DEFAULT_REL_TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# comparison policy
+# ---------------------------------------------------------------------------
+
+
+def compare_result(
+    result: QueryResult,
+    truth: dict[CellKey, SummaryVector],
+    rel: float = DEFAULT_REL_TOL,
+) -> list[tuple[str, str]]:
+    """Divergences of one cluster answer from the oracle's answer.
+
+    Returns ``(kind, detail)`` pairs; empty means the answer conforms.
+    """
+    out: list[tuple[str, str]] = []
+    if not 0.0 <= result.completeness <= 1.0:
+        out.append(
+            ("bad-completeness", f"completeness {result.completeness} outside [0, 1]")
+        )
+        return out
+    extra = sorted(set(result.cells) - set(truth), key=str)
+    for key in extra:
+        out.append(
+            (
+                "fabricated-cell",
+                f"cell {key} returned with count {result.cells[key].count} "
+                f"but holds no observations",
+            )
+        )
+    if not result.degraded:
+        missing = sorted(set(truth) - set(result.cells), key=str)
+        for key in missing:
+            out.append(
+                (
+                    "missing-cell",
+                    f"cell {key} with {truth[key].count} observations omitted "
+                    f"from an answer claiming completeness 1.0",
+                )
+            )
+    for key, vec in result.cells.items():
+        expected = truth.get(key)
+        if expected is not None and not vec.approx_equal(expected, rel=rel):
+            out.append(
+                (
+                    "value-mismatch",
+                    f"cell {key}: got count {vec.count}, oracle says "
+                    f"{expected.count} (or summary values differ beyond "
+                    f"rel={rel})",
+                )
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One confirmed disagreement between the cluster and the oracle."""
+
+    axis: str
+    kind: str
+    query: AggregationQuery
+    detail: str
+    #: Smallest sub-query still diverging on the same cluster state, when
+    #: the harness managed to shrink one (None for relation failures).
+    minimal: AggregationQuery | None = None
+
+    def format(self) -> str:
+        lines = [
+            f"axis={self.axis} kind={self.kind}",
+            f"  query:   {describe_query(self.query)}",
+            f"  detail:  {self.detail}",
+        ]
+        if self.minimal is not None:
+            lines.append(f"  minimal: {describe_query(self.minimal)}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# divergence shrinking
+# ---------------------------------------------------------------------------
+
+
+def minimize_failing_query(
+    diverges: Callable[[AggregationQuery], bool],
+    query: AggregationQuery,
+    max_steps: int = 24,
+) -> AggregationQuery:
+    """Greedily shrink a failing query along exact footprint partitions.
+
+    Each step splits the current query spatially or temporally (both
+    splits partition the footprint exactly — see
+    :meth:`AggregationQuery.split_spatial`) and descends into a half that
+    still fails ``diverges``; stops when no half reproduces.  ``diverges``
+    is evaluated on clones so every probe is a fresh request.
+    """
+    current = query
+    if not diverges(current.clone()):
+        return current
+    for _ in range(max_steps):
+        descended = False
+        for part in current.split_spatial() + current.split_temporal():
+            if diverges(part.clone()):
+                current = part
+                descended = True
+                break
+        if not descended:
+            break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# randomized exploration workloads
+# ---------------------------------------------------------------------------
+
+#: (size-class extent, resolution) mix.  Coarse spatial resolutions (2,
+#: 3) are deliberately over-represented: cells coarser than the block
+#: precision span multiple storage blocks, which is the only place
+#: cross-block scan merges and roll-up merges actually fire.
+_SHAPES: list[tuple[tuple[float, float], Resolution]] = [
+    ((16.0, 32.0), Resolution(2, TemporalResolution.DAY)),
+    ((16.0, 32.0), Resolution(3, TemporalResolution.DAY)),
+    ((8.0, 16.0), Resolution(3, TemporalResolution.DAY)),
+    ((4.0, 8.0), Resolution(3, TemporalResolution.DAY)),
+    ((4.0, 8.0), Resolution(4, TemporalResolution.DAY)),
+    ((4.0, 8.0), Resolution(3, TemporalResolution.HOUR)),
+    ((1.0, 2.0), Resolution(4, TemporalResolution.DAY)),
+    ((1.0, 2.0), Resolution(4, TemporalResolution.HOUR)),
+]
+
+
+#: Per-query footprint cap: keeps a multi-hundred-query campaign in the
+#: seconds range while still covering multi-block and multi-day cells.
+_MAX_WORKLOAD_CELLS = 1_500
+
+
+def _random_box(
+    rng: np.random.Generator, domain: BoundingBox, extent: tuple[float, float]
+) -> BoundingBox:
+    height, width = extent
+    height = min(height, domain.height)
+    width = min(width, domain.width)
+    south = float(rng.uniform(domain.south, domain.north - height))
+    west = float(rng.uniform(domain.west, domain.east - width))
+    return BoundingBox(south, south + height, west, west + width)
+
+
+def exploration_workload(
+    rng: np.random.Generator,
+    num_requests: int,
+    days: list[TimeKey],
+    attribute_names: list[str],
+    domain: BoundingBox = NAM_DOMAIN,
+) -> list[AggregationQuery]:
+    """Randomized exploration sessions over the conformance dataset.
+
+    Each session starts from a random rectangle/day/resolution/attribute
+    selection and then navigates — pans, dices, drills, rolls — the way
+    the paper's visual front-end does.  Sessions vary every query
+    dimension the system branches on: multi-day time ranges (multi-block
+    cells), HOUR resolution (temporal roll-up axis), coarse precisions
+    (spatial roll-up + cross-block merges), and attribute projections.
+    """
+    out: list[AggregationQuery] = []
+    while len(out) < num_requests:
+        extent, resolution = _SHAPES[int(rng.integers(0, len(_SHAPES)))]
+        day_idx = int(rng.integers(0, len(days)))
+        span = 1
+        if resolution.temporal == TemporalResolution.DAY and rng.random() < 0.3:
+            span = int(rng.integers(2, len(days) + 1))
+        day_idx = min(day_idx, len(days) - span)
+        time_range = TimeRange(
+            days[day_idx].epoch_range().start,
+            days[day_idx + span - 1].epoch_range().end,
+        )
+        attributes: tuple[str, ...] | None = None
+        if rng.random() < 0.3:
+            count = min(int(rng.integers(1, 3)), len(attribute_names))
+            picked = rng.choice(len(attribute_names), size=count, replace=False)
+            attributes = tuple(sorted(attribute_names[i] for i in picked))
+        query = AggregationQuery(
+            bbox=_random_box(rng, domain, extent),
+            time_range=time_range,
+            resolution=resolution,
+            attributes=attributes,
+        )
+        if query.footprint_size() > _MAX_WORKLOAD_CELLS:
+            continue
+        out.append(query)
+        for _ in range(int(rng.integers(0, 4))):
+            move = rng.random()
+            if move < 0.45:
+                query = query.panned(
+                    float(rng.uniform(-0.4, 0.4)) * query.bbox.height,
+                    float(rng.uniform(-0.4, 0.4)) * query.bbox.width,
+                )
+            elif move < 0.7:
+                query = query.diced(float(rng.choice([0.5, 2.0])))
+            else:
+                res = query.resolution
+                step = (
+                    res.finer_spatial() if rng.random() < 0.5 else res.coarser_spatial()
+                )
+                if step is None or not 2 <= step.spatial <= 4:
+                    continue
+                query = query.at_resolution(step)
+            if query.footprint_size() > _MAX_WORKLOAD_CELLS:
+                break
+            out.append(query)
+    return out[:num_requests]
+
+
+# ---------------------------------------------------------------------------
+# configuration axes
+# ---------------------------------------------------------------------------
+
+
+def _base_config() -> StashConfig:
+    """Conformance cluster shape: small enough to simulate hundreds of
+    queries quickly, with both replication and roll-up exercised."""
+    return DEFAULT_CONFIG.with_(cluster=ClusterConfig(num_nodes=8))
+
+
+def _run_serial(cluster: StashCluster, queries: list[AggregationQuery]):
+    results = []
+    for query in queries:
+        results.append(cluster.run_query(query))
+        cluster.drain()
+    return results
+
+
+@dataclass
+class AxisRun:
+    """What one axis produced: each executed query with its result."""
+
+    cluster: StashCluster
+    pairs: list[tuple[AggregationQuery, QueryResult]]
+
+
+def _axis_cold_cache(dataset, rng, n) -> AxisRun:
+    """Every query hits a cold cluster path at least partly from disk."""
+    cluster = StashCluster(dataset, _base_config())
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    return AxisRun(cluster, list(zip(queries, _run_serial(cluster, queries))))
+
+
+def _axis_warm_cache(dataset, rng, n) -> AxisRun:
+    """Replay after a warm-up: answers must come from cache unchanged."""
+    cluster = StashCluster(dataset, _base_config())
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    cluster.warm(queries)
+    replays = [query.clone() for query in queries]
+    return AxisRun(cluster, list(zip(replays, _run_serial(cluster, replays))))
+
+
+def _axis_eviction_pressure(dataset, rng, n) -> AxisRun:
+    """A cache far smaller than any working set: constant churn."""
+    config = _base_config().with_(
+        eviction=EvictionConfig(max_cells=96, safe_fraction=0.5)
+    )
+    cluster = StashCluster(dataset, config)
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    return AxisRun(cluster, list(zip(queries, _run_serial(cluster, queries))))
+
+
+def _axis_rollup(dataset, rng, n) -> AxisRun:
+    """Warm fine, query coarse: answers recomputed via roll-up merges."""
+    cluster = StashCluster(dataset, _base_config())
+    pairs: list[tuple[AggregationQuery, QueryResult]] = []
+    while len(pairs) < n:
+        day = _DAYS[int(rng.integers(0, len(_DAYS)))]
+        box = _random_box(rng, NAM_DOMAIN, (8.0, 16.0))
+        fine = AggregationQuery(
+            bbox=box,
+            time_range=day.epoch_range(),
+            resolution=Resolution(4, TemporalResolution.DAY),
+        )
+        cluster.warm([fine])
+        hourly = AggregationQuery(
+            bbox=_random_box(rng, box, (2.0, 4.0)),
+            time_range=day.epoch_range(),
+            resolution=Resolution(3, TemporalResolution.HOUR),
+        )
+        cluster.warm([hourly])
+        coarse = [
+            fine.at_resolution(Resolution(3, TemporalResolution.DAY)),
+            fine.at_resolution(Resolution(2, TemporalResolution.DAY)),
+            AggregationQuery(
+                bbox=hourly.bbox,
+                time_range=hourly.time_range,
+                resolution=Resolution(3, TemporalResolution.DAY),
+            ),
+        ][: n - len(pairs)]
+        pairs.extend(zip(coarse, _run_serial(cluster, coarse)))
+    return AxisRun(cluster, pairs)
+
+
+def _axis_no_rollup(dataset, rng, n) -> AxisRun:
+    """Roll-up disabled: every miss must fall through to disk, correctly."""
+    cluster = StashCluster(dataset, _base_config().with_(enable_rollup=False))
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    return AxisRun(cluster, list(zip(queries, _run_serial(cluster, queries))))
+
+
+def _axis_no_replication(dataset, rng, n) -> AxisRun:
+    """Replication disabled: owners answer everything themselves."""
+    cluster = StashCluster(dataset, _base_config().with_(enable_replication=False))
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    return AxisRun(cluster, list(zip(queries, _run_serial(cluster, queries))))
+
+
+def _axis_replication_hotspot(dataset, rng, n) -> AxisRun:
+    """Forced clique handoff + rerouting: guest graphs serve queries."""
+    config = _base_config().with_(
+        replication=ReplicationConfig(
+            hotspot_queue_threshold=3,
+            cooldown=0.0,
+            reroute_probability=1.0,
+        )
+    )
+    cluster = StashCluster(dataset, config)
+    day = _DAYS[0]
+    base = AggregationQuery(
+        bbox=_random_box(rng, NAM_DOMAIN, (4.0, 8.0)),
+        time_range=day.epoch_range(),
+        resolution=Resolution(4, TemporalResolution.DAY),
+    )
+    queries: list[AggregationQuery] = []
+    query = base
+    while len(queries) < n:
+        queries.append(query)
+        query = query.panned(
+            float(rng.uniform(-0.15, 0.15)) * query.bbox.height,
+            float(rng.uniform(-0.15, 0.15)) * query.bbox.width,
+        )
+    # Fire concurrently so queue depth crosses the (lowered) hotspot
+    # threshold and handoffs actually happen, then drain the background
+    # replication machinery before comparing.
+    results = cluster.run_concurrent(queries)
+    cluster.drain()
+    return AxisRun(cluster, list(zip(queries, results)))
+
+
+def _axis_faults(dataset, rng, n) -> AxisRun:
+    """Crash/restart + link loss on the hot coordinator mid-campaign.
+
+    Divergence policy still applies unchanged: any answer produced while
+    the coordinator is down must either match the oracle or carry
+    ``completeness < 1`` — a silently wrong answer fails the campaign.
+    """
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    base = _base_config()
+    # Resolve the coordinator of the first query exactly the way the
+    # client will (same node ids, same partitioner), without building a
+    # throwaway cluster.
+    node_ids = [f"node-{i}" for i in range(base.cluster.num_nodes)]
+    partitioner = PrefixPartitioner(node_ids, base.cluster.partition_precision)
+    lat, lon = queries[0].bbox.center
+    target = partitioner.node_for(encode(lat, lon, base.cluster.partition_precision))
+    other = next(node for node in node_ids if node != target)
+    schedule = (
+        FaultEvent(kind="crash", at=0.05, node=target),
+        FaultEvent(kind="restart", at=1.5, node=target),
+        FaultEvent(kind="drop_link", at=2.0, until=2.6, src=None, dst=other),
+        FaultEvent(kind="slow_disk", at=0.0, until=4.0, node=other, factor=3.0),
+    )
+    config = base.with_(
+        faults=FaultConfig(
+            enabled=True,
+            rpc_timeout=0.25,
+            evaluate_timeout=1.0,
+            max_retries=1,
+            schedule=schedule,
+        )
+    )
+    cluster = StashCluster(dataset, config)
+    # Open-loop arrivals, NOT serial: run_query + drain between queries
+    # would fast-forward the simulator past every fault window after the
+    # first request, silently testing a fault-free cluster.  Poisson
+    # arrivals spread the workload across crash, link-loss, and slow-disk
+    # windows so queries genuinely race the faults.
+    rate = max(16.0, len(queries) / 3.0)
+    results = cluster.run_open_loop(queries, rate=rate, seed=int(rng.integers(2**31)))
+    cluster.drain()
+    return AxisRun(cluster, list(zip(queries, results)))
+
+
+#: name -> (description, runner).  Order is report order.
+AXES: dict[str, tuple[str, Callable]] = {
+    "cold-cache": ("fresh cluster, serial workload", _axis_cold_cache),
+    "warm-cache": ("same workload replayed after warm-up", _axis_warm_cache),
+    "eviction-pressure": ("96-cell cache, constant churn", _axis_eviction_pressure),
+    "rollup": ("warm fine, query coarse (roll-up path)", _axis_rollup),
+    "no-rollup": ("enable_rollup=False, disk on every miss", _axis_no_rollup),
+    "no-replication": ("enable_replication=False", _axis_no_replication),
+    "replication-hotspot": (
+        "forced clique handoff + reroute_probability=1",
+        _axis_replication_hotspot,
+    ),
+    "faults": ("coordinator crash/restart + link loss", _axis_faults),
+}
+
+#: Days of :func:`~repro.data.generator.conformance_dataset`.
+_DAYS = [TimeKey.of(2013, 2, day) for day in (1, 2, 3)]
+
+
+# ---------------------------------------------------------------------------
+# campaign driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AxisReport:
+    """Outcome of one configuration axis."""
+
+    axis: str
+    description: str
+    queries: int = 0
+    degraded: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_json_dict(self) -> dict:
+        return {
+            "axis": self.axis,
+            "description": self.description,
+            "queries": self.queries,
+            "degraded": self.degraded,
+            "divergences": [
+                {
+                    "kind": d.kind,
+                    "query": describe_query(d.query),
+                    "detail": d.detail,
+                    "minimal": None if d.minimal is None else describe_query(d.minimal),
+                }
+                for d in self.divergences
+            ],
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of a whole conformance campaign."""
+
+    seed: int
+    quick: bool
+    axes: list[AxisReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(axis.ok for axis in self.axes)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(axis.queries for axis in self.axes)
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(len(axis.divergences) for axis in self.axes)
+
+    def format(self) -> str:
+        lines = [
+            f"conformance campaign: seed={self.seed} "
+            f"profile={'quick' if self.quick else 'full'}",
+            "",
+            f"{'axis':<22} {'queries':>8} {'degraded':>9} {'divergent':>10}",
+        ]
+        for axis in self.axes:
+            lines.append(
+                f"{axis.axis:<22} {axis.queries:>8} {axis.degraded:>9} "
+                f"{len(axis.divergences):>10}  {'ok' if axis.ok else 'FAIL'}"
+            )
+        lines.append("")
+        lines.append(
+            f"total: {self.total_queries} checks, "
+            f"{self.total_divergences} divergences -> "
+            f"{'CONFORMS' if self.ok else 'DIVERGES'}"
+        )
+        for axis in self.axes:
+            for divergence in axis.divergences:
+                lines.append("")
+                lines.append(divergence.format())
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "quick": self.quick,
+            "ok": self.ok,
+            "total_queries": self.total_queries,
+            "total_divergences": self.total_divergences,
+            "axes": [axis.to_json_dict() for axis in self.axes],
+        }
+
+
+#: Divergences minimized per axis; shrinking re-runs queries, so bound it.
+_MAX_MINIMIZED = 2
+#: Divergences recorded per axis before bailing (a broken merge diverges
+#: on nearly every query; the report needs examples, not thousands).
+_MAX_RECORDED = 8
+
+
+def _check_axis(
+    name: str,
+    description: str,
+    run: AxisRun,
+    oracle: BruteForceOracle,
+    rel: float,
+) -> AxisReport:
+    report = AxisReport(axis=name, description=description)
+    cluster = run.cluster
+
+    def diverges(query: AggregationQuery) -> bool:
+        result = cluster.run_query(query)
+        cluster.drain()
+        return bool(compare_result(result, oracle.answer(query), rel))
+
+    for query, result in run.pairs:
+        report.queries += 1
+        if result.degraded:
+            report.degraded += 1
+        problems = compare_result(result, oracle.answer(query), rel)
+        if not problems:
+            continue
+        kind, detail = problems[0]
+        minimal = None
+        if len(report.divergences) < _MAX_MINIMIZED:
+            minimal = minimize_failing_query(diverges, query)
+            if minimal.query_id == query.query_id:
+                minimal = None
+        report.divergences.append(
+            Divergence(axis=name, kind=kind, query=query, detail=detail, minimal=minimal)
+        )
+        if len(report.divergences) >= _MAX_RECORDED:
+            break
+    return report
+
+
+def _check_metamorphic(
+    dataset: ObservationBatch, rng: np.random.Generator, n: int
+) -> AxisReport:
+    """Relation checks on a default cluster (no oracle involved)."""
+    report = AxisReport(
+        axis="metamorphic",
+        description="parent/children, pan overlap, split, eviction",
+    )
+    cluster = StashCluster(dataset, _base_config())
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    failures: list[RelationFailure] = []
+    for index, query in enumerate(queries):
+        checks = index % 4
+        if checks == 0 and query.footprint_size() <= 48:
+            axis = "spatial" if index % 8 == 0 else "temporal"
+            failures = check_parent_children(cluster, query, axis)
+        elif checks == 1:
+            failures = check_pan_consistency(
+                cluster, query, 0.3 * query.bbox.height, 0.3 * query.bbox.width
+            )
+        elif checks == 2:
+            failures = check_split_additivity(cluster, query)
+        else:
+            failures = check_eviction_independence(cluster, query)
+        report.queries += 1
+        for failure in failures[:_MAX_RECORDED]:
+            report.divergences.append(
+                Divergence(
+                    axis="metamorphic",
+                    kind=failure.relation,
+                    query=failure.query,
+                    detail=failure.detail,
+                )
+            )
+        if len(report.divergences) >= _MAX_RECORDED:
+            break
+    return report
+
+
+def run_campaign(
+    seed: int = 0,
+    quick: bool = False,
+    queries_per_axis: int | None = None,
+    rel: float = DEFAULT_REL_TOL,
+    axes: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Run the full conformance campaign and return its report.
+
+    The full profile runs enough randomized queries (>= 500 across all
+    axes) to exercise every configuration surface; ``quick`` is the CI
+    smoke shape.  Deterministic for a given seed.
+    """
+    if queries_per_axis is None:
+        queries_per_axis = 8 if quick else 64
+    dataset = conformance_dataset(seed=seed)
+    oracle = BruteForceOracle(dataset)
+    selected = list(AXES) if axes is None else [a for a in AXES if a in set(axes)]
+    report = CampaignReport(seed=seed, quick=quick)
+    axis_index = {name: i for i, name in enumerate(AXES)}
+    for name in selected:
+        description, runner = AXES[name]
+        if progress is not None:
+            progress(f"axis {name}: {description}")
+        # Seed each axis independently of which axes were selected (and of
+        # PYTHONHASHSEED) so one axis's workload is reproducible in isolation.
+        rng = np.random.default_rng([seed, axis_index[name]])
+        run = runner(dataset, rng, queries_per_axis)
+        report.axes.append(_check_axis(name, description, run, oracle, rel))
+    if axes is None or "metamorphic" in axes:
+        if progress is not None:
+            progress("axis metamorphic: relation checks")
+        rng = np.random.default_rng([seed, 987_654_321])
+        report.axes.append(
+            _check_metamorphic(dataset, rng, max(4, queries_per_axis // 2))
+        )
+    return report

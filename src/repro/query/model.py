@@ -190,6 +190,92 @@ class AggregationQuery:
             polygon=self.polygon,
         )
 
+    def clone(self) -> "AggregationQuery":
+        """An identical query with a fresh ``query_id``.
+
+        Re-submitting the *same* object would reuse its id (and memoized
+        footprint) across runs; experiments and correctness harnesses
+        that replay a query clone it so each submission is a distinct
+        request.
+        """
+        return AggregationQuery(
+            bbox=self.bbox,
+            time_range=self.time_range,
+            resolution=self.resolution,
+            attributes=self.attributes,
+            polygon=self.polygon,
+        )
+
+    # -- partitions (conformance harness + divergence shrinking) -----------
+
+    def split_spatial(self) -> list["AggregationQuery"]:
+        """Partition this query into two sub-queries along a cell boundary.
+
+        The halves' footprints partition this query's footprint exactly
+        (cell covers nest on geohash grid lines), which is what makes
+        query-split additivity — ``answer(Q) == answer(A) ∪ answer(B)``
+        for disjoint ``A``, ``B`` — a checkable metamorphic relation and a
+        sound shrinking step for minimal-failing-query search.  Returns
+        ``[]`` when the cover is a single cell column/row that cannot be
+        split, or for polygon queries (their covers are not rectangles).
+        """
+        if self.polygon is not None:
+            return []
+        from repro.geo.geohash import bbox as geohash_bbox
+
+        cover = self._spatial_cover()
+        if len(cover) < 2:
+            return []
+        boxes = {cell: geohash_bbox(cell) for cell in cover}
+        wests = sorted({box.west for box in boxes.values()})
+        souths = sorted({box.south for box in boxes.values()})
+        if len(wests) >= 2:
+            boundary = wests[len(wests) // 2]
+            low = [c for c in cover if boxes[c].west < boundary]
+            high = [c for c in cover if boxes[c].west >= boundary]
+        elif len(souths) >= 2:
+            boundary = souths[len(souths) // 2]
+            low = [c for c in cover if boxes[c].south < boundary]
+            high = [c for c in cover if boxes[c].south >= boundary]
+        else:
+            return []
+        out = []
+        for cells in (low, high):
+            south = min(boxes[c].south for c in cells)
+            north = max(boxes[c].north for c in cells)
+            west = min(boxes[c].west for c in cells)
+            east = max(boxes[c].east for c in cells)
+            out.append(
+                AggregationQuery(
+                    bbox=BoundingBox(south, north, west, east),
+                    time_range=self.time_range,
+                    resolution=self.resolution,
+                    attributes=self.attributes,
+                )
+            )
+        return out
+
+    def split_temporal(self) -> list["AggregationQuery"]:
+        """Partition this query into two halves along a temporal bin edge.
+
+        Complements :meth:`split_spatial`; returns ``[]`` when the time
+        range covers a single bin.
+        """
+        keys = self.time_range.covering_keys(self.resolution.temporal)
+        if len(keys) < 2:
+            return []
+        mid = len(keys) // 2
+        return [
+            AggregationQuery(
+                bbox=self.bbox,
+                time_range=TimeRange.from_keys(list(half)),
+                resolution=self.resolution,
+                attributes=self.attributes,
+                polygon=self.polygon,
+            )
+            for half in (keys[:mid], keys[mid:])
+        ]
+
 
 @dataclass
 class QueryResult:

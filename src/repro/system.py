@@ -23,7 +23,7 @@ from repro.faults.membership import ClusterMembership
 from repro.obs.critical_path import attribute_span
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
-from repro.query.model import AggregationQuery, QueryResult
+from repro.query.model import PROVENANCE_KEYS, AggregationQuery, QueryResult
 from repro.sim.engine import Event, Process, Simulator
 from repro.sim.metrics import (
     AttributionCollector,
@@ -219,8 +219,15 @@ class DistributedSystem(ABC):
         self.timeline.record_completion(self.sim.now)
         if reply is None:
             # Every coordinator attempt failed: an explicit empty answer
-            # (completeness 0) beats a hung client or a crashed run.
-            reply = {"cells": {}, "provenance": {"rerouted": 0}, "completeness": 0.0}
+            # (completeness 0) beats a hung client or a crashed run.  The
+            # reply still carries the full provenance vocabulary so
+            # downstream consumers (conformance harness, metrics) never
+            # see a partial counter set.
+            reply = {
+                "cells": {},
+                "provenance": {key: 0 for key in PROVENANCE_KEYS},
+                "completeness": 0.0,
+            }
         if not isinstance(reply, dict) or "cells" not in reply:
             raise QueryError(f"malformed evaluate reply: {reply!r}")
         attribution = None

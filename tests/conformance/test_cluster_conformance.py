@@ -1,0 +1,184 @@
+"""Cluster-vs-oracle conformance across configuration axes (small runs).
+
+The CI ``repro conform`` job runs the full campaign; these tests keep a
+per-axis slice inside the tier-1 suite so a conformance break fails fast
+with a readable divergence report, and they pin the harness's own
+behavior: the degraded-answer policy, the fault axis actually injecting
+faults, and deterministic workloads per seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import conformance_dataset
+from repro.oracle.conformance import (
+    AXES,
+    _axis_faults,
+    _check_axis,
+    compare_result,
+    exploration_workload,
+    minimize_failing_query,
+    run_campaign,
+)
+from repro.oracle.engine import BruteForceOracle
+from repro.geo.temporal import TimeKey
+
+DAYS = [TimeKey.of(2013, 2, day) for day in (1, 2, 3)]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return conformance_dataset(num_records=3_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def oracle(dataset):
+    return BruteForceOracle(dataset)
+
+
+@pytest.mark.parametrize(
+    "axis",
+    ["cold-cache", "warm-cache", "eviction-pressure", "rollup", "no-rollup"],
+)
+def test_axis_conforms(axis, dataset, oracle):
+    description, runner = AXES[axis]
+    rng = np.random.default_rng([11, list(AXES).index(axis)])
+    run = runner(dataset, rng, 5)
+    report = _check_axis(axis, description, run, oracle, 1e-9)
+    assert report.ok, "\n".join(d.format() for d in report.divergences)
+    assert report.queries == 5
+
+
+def test_replication_axis_conforms(dataset, oracle):
+    description, runner = AXES["replication-hotspot"]
+    rng = np.random.default_rng([11, 6])
+    run = runner(dataset, rng, 8)
+    report = _check_axis("replication-hotspot", description, run, oracle, 1e-9)
+    assert report.ok, "\n".join(d.format() for d in report.divergences)
+
+
+def test_fault_axis_injects_and_conforms(dataset, oracle):
+    """Faults genuinely fire mid-workload, and every answer produced under
+    them either matches the oracle or is explicitly degraded."""
+    rng = np.random.default_rng([11, 7])
+    run = _axis_faults(dataset, rng, 24)
+    cluster = run.cluster
+    assert cluster.fault_injector is not None
+    assert len(cluster.fault_injector.applied) >= 2
+    # The point of the axis: at least one answer raced a fault window.
+    touched = (
+        cluster.fault_counters.get("client_timeouts")
+        + cluster.network.messages_dropped
+        + sum(1 for _, r in run.pairs if r.degraded)
+    )
+    assert touched > 0
+    report = _check_axis("faults", "", run, oracle, 1e-9)
+    assert report.ok, "\n".join(d.format() for d in report.divergences)
+    for _, result in run.pairs:
+        if result.degraded:
+            assert result.completeness < 1.0
+            truth = oracle.answer(result.query)
+            assert set(result.cells) <= set(truth)
+
+
+class TestComparePolicy:
+    def test_complete_answer_must_be_exact(self, dataset, oracle):
+        rng = np.random.default_rng(5)
+        query = exploration_workload(rng, 1, DAYS, dataset.attribute_names)[0]
+        truth = oracle.answer(query)
+        assert truth, "workload query unexpectedly empty; pick another seed"
+
+        class Fake:
+            completeness = 1.0
+            degraded = False
+            cells = dict(truth)
+
+        assert compare_result(Fake(), truth) == []
+        missing = dict(truth)
+        missing.pop(next(iter(missing)))
+        Fake.cells = missing
+        kinds = [kind for kind, _ in compare_result(Fake(), truth)]
+        assert kinds == ["missing-cell"]
+
+    def test_degraded_answer_may_omit_but_not_fabricate(self, dataset, oracle):
+        rng = np.random.default_rng(5)
+        query = exploration_workload(rng, 1, DAYS, dataset.attribute_names)[0]
+        truth = oracle.answer(query)
+        subset = dict(list(truth.items())[:1])
+
+        class Fake:
+            completeness = 0.4
+            degraded = True
+            cells = subset
+
+        assert compare_result(Fake(), truth) == []
+        # A cell that holds no observations is a fabrication even degraded.
+        from repro.core.keys import CellKey
+        from repro.geo.temporal import TimeKey as TK
+
+        bogus = CellKey("zzz", TK.of(2013, 2, 1))
+        Fake.cells = {**subset, bogus: next(iter(truth.values()))}
+        kinds = [kind for kind, _ in compare_result(Fake(), truth)]
+        assert "fabricated-cell" in kinds
+
+    def test_bad_completeness_flagged(self, dataset, oracle):
+        class Fake:
+            completeness = 1.5
+            degraded = False
+            cells = {}
+
+        kinds = [kind for kind, _ in compare_result(Fake(), {})]
+        assert kinds == ["bad-completeness"]
+
+
+class TestHarnessMechanics:
+    def test_workload_deterministic(self, dataset):
+        a = exploration_workload(
+            np.random.default_rng([4, 2]), 12, DAYS, dataset.attribute_names
+        )
+        b = exploration_workload(
+            np.random.default_rng([4, 2]), 12, DAYS, dataset.attribute_names
+        )
+        assert [(q.bbox, q.time_range, q.resolution, q.attributes) for q in a] == [
+            (q.bbox, q.time_range, q.resolution, q.attributes) for q in b
+        ]
+
+    def test_workload_covers_branch_surfaces(self, dataset):
+        qs = exploration_workload(
+            np.random.default_rng([4, 3]), 80, DAYS, dataset.attribute_names
+        )
+        assert any(q.resolution.spatial == 2 for q in qs), "no coarse queries"
+        assert any(q.resolution.temporal.name == "HOUR" for q in qs)
+        assert any(q.attributes is not None for q in qs)
+        assert any(
+            len(q.time_range.covering_keys(q.resolution.temporal)) > 1
+            or q.resolution.temporal.name == "HOUR"
+            for q in qs
+        )
+        from repro.oracle.conformance import _MAX_WORKLOAD_CELLS
+
+        assert all(q.footprint_size() <= _MAX_WORKLOAD_CELLS for q in qs)
+
+    def test_minimizer_descends_to_small_query(self, dataset, oracle):
+        rng = np.random.default_rng([11, 0])
+        big = exploration_workload(rng, 6, DAYS, dataset.attribute_names)[0]
+        target = sorted(oracle.answer(big), key=str)
+        assert target, "need a non-empty query for the shrink test"
+        victim = target[0]
+
+        def diverges(query):
+            return victim in oracle.answer(query)
+
+        minimal = minimize_failing_query(diverges, big)
+        assert diverges(minimal)
+        assert minimal.footprint_size() <= big.footprint_size()
+        assert minimal.footprint_size() <= 8
+
+    def test_campaign_report_shape(self, dataset):
+        report = run_campaign(seed=9, queries_per_axis=2, axes=["cold-cache"])
+        assert report.ok
+        assert report.total_queries >= 2
+        data = report.to_json_dict()
+        assert data["ok"] is True
+        assert data["axes"][0]["axis"] == "cold-cache"
+        assert "CONFORMS" in report.format()

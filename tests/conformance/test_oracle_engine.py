@@ -1,0 +1,132 @@
+"""The oracle itself: independent agreement with ground_truth_cells.
+
+``ground_truth_cells`` shares the vectorized ``grouped_summaries`` kernel
+with the production scan path, so agreement between the two oracles is a
+real cross-check: scalar-vs-vectorized binning, fsum-vs-pairwise
+accumulation, two independent group-by implementations.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.data.generator import small_test_dataset
+from repro.data.statistics import AttributeSummary, SummaryVector
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.oracle.engine import BruteForceOracle, reference_merge
+from repro.query.model import AggregationQuery
+from repro.storage.backend import ground_truth_cells
+from tests.strategies import queries
+
+DATASET = small_test_dataset(num_records=4_000, num_days=4)
+ORACLE = BruteForceOracle(DATASET)
+
+
+def q(box, day=2, precision=3, temporal=TemporalResolution.DAY):
+    return AggregationQuery(
+        bbox=box,
+        time_range=TimeKey.of(2013, 2, day).epoch_range(),
+        resolution=Resolution(precision, temporal),
+    )
+
+
+class TestOracleAgainstVectorizedTruth:
+    @given(queries(multi_day=True))
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_matches_ground_truth_cells(self, query):
+        truth = ground_truth_cells(DATASET, query)
+        answer = ORACLE.answer(query)
+        assert set(answer) == set(truth)
+        for key, vec in answer.items():
+            assert vec.approx_equal(truth[key])
+
+    @given(queries())
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_attribute_projection(self, query):
+        projected = AggregationQuery(
+            bbox=query.bbox,
+            time_range=query.time_range,
+            resolution=query.resolution,
+            attributes=("temperature",),
+        )
+        full = ORACLE.answer(query)
+        slim = ORACLE.answer(projected)
+        assert set(slim) == set(full)
+        for key, vec in slim.items():
+            assert vec.attributes == ["temperature"]
+            assert vec["temperature"].approx_equal(full[key]["temperature"])
+
+
+class TestOracleSemantics:
+    def test_empty_region(self):
+        # Middle of the Pacific: no NAM observations.
+        answer = ORACLE.answer(q(BoundingBox(-10.0, -5.0, -160.0, -150.0)))
+        assert answer == {}
+
+    def test_all_cells_nonempty(self):
+        answer = ORACLE.answer(q(BoundingBox(30.0, 40.0, -110.0, -100.0)))
+        assert answer
+        assert all(vec.count > 0 for vec in answer.values())
+
+    def test_snapped_extent_includes_boundary_records(self):
+        """Records outside the raw bbox but inside its covering cells count."""
+        tight = q(BoundingBox(35.0, 35.1, -105.0, -104.9))
+        answer = ORACLE.answer(tight)
+        total = sum(vec.count for vec in answer.values())
+        assert total == ORACLE.total_in(tight)
+        snapped = tight.snapped_bbox()
+        in_snapped = sum(
+            1
+            for lat, lon, epoch in zip(
+                DATASET.lats, DATASET.lons, DATASET.epochs
+            )
+            if snapped.south <= lat < snapped.north
+            and snapped.west <= lon < snapped.east
+            and tight.snapped_time_range().start
+            <= epoch
+            < tight.snapped_time_range().end
+        )
+        assert total == in_snapped
+
+    def test_binning_column_memoized(self):
+        oracle = BruteForceOracle(DATASET)
+        first = oracle._geohash_column(3)
+        assert oracle._geohash_column(3) is first
+
+
+class TestReferenceMerge:
+    def test_matches_summary_vector_merge(self):
+        a = SummaryVector.from_arrays(
+            {"x": [1.0, 2.0, 3.0], "y": [0.5, -0.5, 4.0]}
+        )
+        b = SummaryVector.from_arrays({"x": [10.0], "y": [-2.0]})
+        expected = a.merge(b)
+        assert reference_merge([a, b], ["x", "y"]).approx_equal(expected)
+
+    def test_empty_input_is_identity(self):
+        merged = reference_merge([], ["x"])
+        assert merged.is_empty
+        a = SummaryVector.from_arrays({"x": [7.0]})
+        assert reference_merge([a, SummaryVector.empty(["x"])], ["x"]).approx_equal(a)
+
+    def test_does_not_call_production_merge(self, monkeypatch):
+        """The whole point: a corrupted production merge cannot leak in."""
+
+        def poisoned(self, other):
+            raise AssertionError("reference_merge used AttributeSummary.merge")
+
+        monkeypatch.setattr(AttributeSummary, "merge", poisoned)
+        monkeypatch.setattr(
+            SummaryVector, "merge", lambda self, other: poisoned(self, other)
+        )
+        a = SummaryVector.from_arrays({"x": [1.0, 2.0]})
+        b = SummaryVector.from_arrays({"x": [3.0]})
+        merged = reference_merge([a, b], ["x"])
+        assert merged.count == 3
+        assert math.isclose(merged["x"].total, 6.0)

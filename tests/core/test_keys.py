@@ -10,21 +10,7 @@ from repro.errors import CacheError
 from repro.geo import geohash as gh
 from repro.geo.resolution import Resolution
 from repro.geo.temporal import TemporalResolution, TimeKey
-
-
-def cell_keys(min_precision=2, max_precision=6):
-    @st.composite
-    def _key(draw):
-        precision = draw(st.integers(min_precision, max_precision))
-        code = draw(st.text(gh.GEOHASH_ALPHABET, min_size=precision, max_size=precision))
-        res = draw(st.sampled_from(list(TemporalResolution)))
-        month = draw(st.integers(1, 12))
-        day = draw(st.integers(1, 28))
-        hour = draw(st.integers(0, 23))
-        parts = (2013, month, day, hour)[: res + 1]
-        return CellKey(geohash=code, time_key=TimeKey(parts))
-
-    return _key()
+from tests.strategies import cell_keys
 
 
 class TestIdentity:

@@ -1,0 +1,199 @@
+"""PLM bitmap bookkeeping across evict -> re-insert cycles.
+
+Audit target: every ``remove`` must be the exact inverse of the ``add``
+that created the entry — forward map, reverse (block -> dependents)
+index, and no dangling empty reverse entries — otherwise a cell evicted
+and later recomputed from *different* blocks would keep stale
+invalidation edges, and a real-time block update would either miss the
+cell or invalidate an innocent one.  ``PrecisionLevelMap.
+check_consistency`` asserts the mirror property; these tests drive it
+through eviction, invalidation, crash-clear, and randomized churn.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EvictionConfig, FreshnessConfig
+from repro.core.cell import Cell
+from repro.core.eviction import EvictionPolicy
+from repro.core.freshness import FreshnessTracker
+from repro.core.graph import StashGraph
+from repro.core.keys import CellKey
+from repro.core.plm import PrecisionLevelMap
+from repro.data.block import BlockId
+from repro.data.statistics import SummaryVector
+from repro.errors import CacheError
+from repro.geo import geohash as gh
+from repro.geo.resolution import ResolutionSpace
+from repro.geo.temporal import TimeKey
+
+SPACE = ResolutionSpace(1, 8)
+DAY = TimeKey.of(2013, 2, 2)
+
+KEY = CellKey("9q8y", DAY)
+B1 = BlockId("9q8", "2013-02-02")
+B2 = BlockId("9q9", "2013-02-02")
+B3 = BlockId("9qb", "2013-02-02")
+
+
+def cell(geohash="9q8y", time_key=DAY, value=1.0):
+    return Cell(
+        key=CellKey(geohash, time_key),
+        summary=SummaryVector.from_arrays({"temperature": np.asarray([value])}),
+    )
+
+
+class TestPlmReinsert:
+    def test_remove_then_readd_same_blocks(self):
+        plm = PrecisionLevelMap()
+        plm.add(0, KEY, frozenset({B1, B2}))
+        plm.remove(0, KEY)
+        plm.check_consistency()
+        assert len(plm) == 0
+        assert plm.dependents_of_block(B1) == set()
+        plm.add(0, KEY, frozenset({B1, B2}))
+        plm.check_consistency()
+        assert plm.blocks_of(0, KEY) == {B1, B2}
+
+    def test_readd_with_different_blocks_drops_stale_edges(self):
+        """The re-insert case that motivates the audit: a cell evicted and
+        recomputed from a different block set must not keep invalidation
+        edges to its old blocks."""
+        plm = PrecisionLevelMap()
+        plm.add(0, KEY, frozenset({B1, B2}))
+        plm.remove(0, KEY)
+        plm.add(0, KEY, frozenset({B3}))
+        plm.check_consistency()
+        assert plm.blocks_of(0, KEY) == {B3}
+        assert plm.dependents_of_block(B1) == set()
+        assert plm.dependents_of_block(B2) == set()
+        assert plm.dependents_of_block(B3) == {KEY}
+
+    def test_shared_block_survives_partial_removal(self):
+        other = CellKey("9q8z", DAY)
+        plm = PrecisionLevelMap()
+        plm.add(0, KEY, frozenset({B1}))
+        plm.add(0, other, frozenset({B1, B2}))
+        plm.remove(0, KEY)
+        plm.check_consistency()
+        assert plm.dependents_of_block(B1) == {other}
+        plm.remove(0, other)
+        plm.check_consistency()
+        # No dangling empty reverse entries after the last dependent goes.
+        assert plm.dependents_of_block(B1) == set()
+        assert plm.dependents_of_block(B2) == set()
+
+    def test_duplicate_add_rejected_without_corruption(self):
+        plm = PrecisionLevelMap()
+        plm.add(0, KEY, frozenset({B1}))
+        with pytest.raises(CacheError):
+            plm.add(0, KEY, frozenset({B2}))
+        plm.check_consistency()
+        # The failed add must not have touched the reverse index.
+        assert plm.blocks_of(0, KEY) == {B1}
+        assert plm.dependents_of_block(B2) == set()
+
+    def test_remove_untracked_rejected(self):
+        plm = PrecisionLevelMap()
+        with pytest.raises(CacheError):
+            plm.remove(0, KEY)
+        plm.check_consistency()
+
+    def test_same_key_at_two_levels_is_independent(self):
+        plm = PrecisionLevelMap()
+        plm.add(0, KEY, frozenset({B1}))
+        plm.add(1, KEY, frozenset({B2}))
+        plm.remove(0, KEY)
+        plm.check_consistency()
+        assert not plm.contains(0, KEY)
+        assert plm.contains(1, KEY)
+        assert plm.dependents_of_block(B2) == {KEY}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["9q8y", "9q8z", "9qby", "9qbz"]),
+                st.sets(st.sampled_from([B1, B2, B3]), max_size=3),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_randomized_churn_keeps_indexes_mirrored(self, ops):
+        """Interleaved add/remove against a model dict: the PLM's forward
+        and reverse indexes stay exact mirrors at every step."""
+        plm = PrecisionLevelMap()
+        model: dict[CellKey, frozenset] = {}
+        for geohash, blocks in ops:
+            key = CellKey(geohash, DAY)
+            if key in model:
+                plm.remove(0, key)
+                del model[key]
+            else:
+                plm.add(0, key, frozenset(blocks))
+                model[key] = frozenset(blocks)
+            plm.check_consistency()
+        assert len(plm) == len(model)
+        for key, blocks in model.items():
+            assert plm.blocks_of(0, key) == blocks
+        for block in (B1, B2, B3):
+            expected = {k for k, blocks in model.items() if block in blocks}
+            assert plm.dependents_of_block(block) == expected
+
+
+class TestGraphEvictReinsert:
+    """The same invariants driven through the real eviction path."""
+
+    def _full_graph(self):
+        graph = StashGraph(SPACE)
+        for i, child in enumerate(gh.children("9q8")):
+            graph.insert(cell(child, value=float(i)), frozenset({B1}))
+        return graph
+
+    def test_eviction_clears_plm_and_reinsert_succeeds(self):
+        graph = self._full_graph()
+        policy = EvictionPolicy(EvictionConfig(max_cells=16, safe_fraction=0.5))
+        tracker = FreshnessTracker(FreshnessConfig())
+        victims = policy.enforce(graph, tracker, now=10.0)
+        assert victims
+        graph.plm.check_consistency()
+        level = graph.level_of(victims[0])
+        for key in victims:
+            assert not graph.plm.contains(level, key)
+        # Recompute the evicted cells from a different block set.
+        for key in victims:
+            graph.insert(cell(key.geohash), frozenset({B2, B3}))
+        graph.plm.check_consistency()
+        assert graph.plm.blocks_of(level, victims[0]) == {B2, B3}
+        assert victims[0] not in graph.plm.dependents_of_block(B1)
+
+    def test_invalidate_block_then_repopulate(self):
+        graph = self._full_graph()
+        stale = graph.invalidate_block(B1)
+        assert len(stale) == 32
+        graph.plm.check_consistency()
+        assert len(graph) == 0
+        for key in stale:
+            graph.insert(cell(key.geohash), frozenset({B2}))
+        graph.plm.check_consistency()
+        assert graph.plm.dependents_of_block(B1) == set()
+        assert len(graph.plm.dependents_of_block(B2)) == 32
+
+    def test_clear_then_reinsert(self):
+        graph = self._full_graph()
+        assert graph.clear() == 32
+        graph.plm.check_consistency()
+        graph.insert(cell("9q8y"), frozenset({B1}))
+        graph.plm.check_consistency()
+        assert len(graph) == 1
+
+    def test_graph_and_plm_membership_agree_after_churn(self):
+        graph = self._full_graph()
+        policy = EvictionPolicy(EvictionConfig(max_cells=20, safe_fraction=0.5))
+        tracker = FreshnessTracker(FreshnessConfig())
+        policy.enforce(graph, tracker, now=5.0)
+        for c in graph.cells():
+            assert graph.plm.contains(graph.level_of(c.key), c.key)
+        assert len(graph.plm) == len(graph)

@@ -1,7 +1,8 @@
 """Tests for roll-up recomputation and the query planner."""
 
 import numpy as np
-import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.aggregation import try_rollup
 from repro.core.cell import Cell
@@ -98,8 +99,6 @@ class TestRollup:
         narrow = ResolutionSpace(1, 8)
         graph = StashGraph(narrow)
         key = CellKey("9q8y7x2w", DAY)  # precision 8: spatial children at 9
-        from repro.geo.temporal import TemporalResolution
-
         hour_key = CellKey("9q8y7x2w", TimeKey.of(2013, 2, 2, 5))
         # No children cached at all; must simply return None, not raise.
         assert try_rollup(graph, key, ATTRS) is None
@@ -167,3 +166,62 @@ class TestPlanner:
         plan = plan_query(graph, [], ATTRS)
         assert plan.hit_fraction == 1.0
         assert plan.lookups == 0
+        assert plan.partition_ok([])
+
+
+class TestPartitionInvariant:
+    """plan_query's three-way split always partitions the footprint, and
+    ``partition_ok`` is a real check — it rejects tampered plans."""
+
+    def _crafted_graph_and_footprint(self, cached_mask, rollup_index):
+        graph = StashGraph(SPACE)
+        footprint = [CellKey(c, DAY) for c in gh.children("9q8y")]
+        for key, cached in zip(footprint, cached_mask):
+            if cached:
+                graph.upsert(cell_with(key.geohash, DAY, [1.0]))
+        if rollup_index is not None and not cached_mask[rollup_index]:
+            fill_spatial_children(graph, footprint[rollup_index].geohash)
+        return graph, footprint
+
+    @given(
+        cached_mask=st.lists(st.booleans(), min_size=32, max_size=32),
+        rollup_index=st.one_of(st.none(), st.integers(min_value=0, max_value=31)),
+        attempt_rollup=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_three_way_split_partitions(self, cached_mask, rollup_index, attempt_rollup):
+        graph, footprint = self._crafted_graph_and_footprint(cached_mask, rollup_index)
+        plan = plan_query(graph, footprint, ATTRS, attempt_rollup=attempt_rollup)
+        assert plan.partition_ok(footprint)
+        assert plan.lookups == len(footprint)
+        expected_cached = {k for k, c in zip(footprint, cached_mask) if c}
+        assert set(plan.cached) == expected_cached
+        if attempt_rollup and rollup_index is not None and not cached_mask[rollup_index]:
+            assert set(plan.rollup) == {footprint[rollup_index]}
+        else:
+            assert plan.rollup == {}
+
+    def test_partition_ok_rejects_overlap(self):
+        graph = StashGraph(SPACE)
+        footprint = [CellKey(c, DAY) for c in gh.children("9q8y")]
+        graph.upsert(cell_with(footprint[0].geohash, DAY, [1.0]))
+        plan = plan_query(graph, footprint, ATTRS)
+        assert plan.partition_ok(footprint)
+        plan.missing.append(footprint[0])  # now both cached and missing
+        assert not plan.partition_ok(footprint)
+
+    def test_partition_ok_rejects_duplicates_and_drops(self):
+        graph = StashGraph(SPACE)
+        footprint = [CellKey(c, DAY) for c in gh.children("9q8y")]
+        plan = plan_query(graph, footprint, ATTRS)
+        plan.missing.append(footprint[0])  # duplicate missing entry
+        assert not plan.partition_ok(footprint)
+        plan.missing = [k for k in footprint if k != footprint[0]]  # dropped cell
+        assert not plan.partition_ok(footprint)
+
+    def test_partition_ok_rejects_foreign_cell(self):
+        graph = StashGraph(SPACE)
+        footprint = [CellKey(c, DAY) for c in gh.children("9q8y")]
+        plan = plan_query(graph, footprint, ATTRS)
+        plan.missing.append(CellKey("9q8z0", DAY))
+        assert not plan.partition_ok(footprint)

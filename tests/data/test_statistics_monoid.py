@@ -1,0 +1,152 @@
+"""Monoid laws for AttributeSummary / SummaryVector (property-based).
+
+Every correctness argument in STASH — roll-up recomputation, cross-block
+scan merges, the oracle's reference aggregation — reduces to "summaries
+of disjoint data form a commutative monoid under merge".  These tests pin
+that algebra directly: associativity, identity, commutativity, and the
+homomorphism ``summary(x ++ y) == summary(x) . summary(y)``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.statistics import AttributeSummary, SummaryVector
+from repro.errors import StatisticsError
+from repro.oracle.engine import reference_merge
+
+# Bounded magnitudes keep total_sq far from overflow so the laws are
+# about algebra, not float saturation.
+finite_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    max_size=16,
+)
+
+summaries = finite_values.map(
+    lambda v: AttributeSummary.from_values(np.asarray(v, dtype=float))
+)
+
+
+@st.composite
+def vectors(draw, attrs=("pressure", "temperature")):
+    n = draw(st.integers(min_value=0, max_value=12))
+    arrays = {
+        a: np.asarray(
+            draw(
+                st.lists(
+                    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=float,
+        )
+        for a in attrs
+    }
+    if n == 0:
+        return SummaryVector.empty(list(attrs))
+    return SummaryVector.from_arrays(arrays)
+
+
+class TestAttributeSummaryMonoid:
+    @given(summaries, summaries, summaries)
+    @settings(max_examples=200, deadline=None)
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c).approx_equal(a.merge(b.merge(c)))
+
+    @given(summaries)
+    @settings(max_examples=100, deadline=None)
+    def test_identity(self, a):
+        e = AttributeSummary.empty()
+        assert a.merge(e) == a
+        assert e.merge(a) == a
+
+    @given(summaries, summaries)
+    @settings(max_examples=200, deadline=None)
+    def test_commutative(self, a, b):
+        # Exact, not approx: float + and min/max commute bitwise.
+        assert a.merge(b) == b.merge(a)
+
+    @given(finite_values, finite_values)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_concat_homomorphism(self, x, y):
+        merged = AttributeSummary.from_values(np.asarray(x)).merge(
+            AttributeSummary.from_values(np.asarray(y))
+        )
+        direct = AttributeSummary.from_values(np.asarray(x + y))
+        assert merged.approx_equal(direct, rel=1e-9)
+
+    @given(summaries, summaries)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_preserves_derived_stats_domain(self, a, b):
+        merged = a.merge(b)
+        assert merged.count == a.count + b.count
+        if merged.count:
+            assert merged.minimum <= merged.maximum
+            assert merged.variance >= 0.0
+            # total/count can overshoot an extremum by a few ulps.
+            slack = 1e-9 * max(1.0, abs(merged.mean))
+            assert merged.minimum - slack <= merged.mean <= merged.maximum + slack
+        else:
+            assert merged.is_empty
+
+
+class TestSummaryVectorMonoid:
+    @given(vectors(), vectors(), vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c).approx_equal(a.merge(b.merge(c)))
+
+    @given(vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, a):
+        e = SummaryVector.empty(a.attributes)
+        assert a.merge(e) == a
+        assert e.merge(a) == a
+
+    @given(vectors(), vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(st.lists(vectors(), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_all_is_left_fold(self, vecs):
+        folded = vecs[0]
+        for vec in vecs[1:]:
+            folded = folded.merge(vec)
+        assert SummaryVector.merge_all(vecs) == folded
+
+    @given(st.lists(vectors(), max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_reference_merge_agrees(self, vecs):
+        """The oracle's independent merge computes the same monoid."""
+        attrs = ["pressure", "temperature"]
+        expected = SummaryVector.empty(attrs)
+        for vec in vecs:
+            expected = expected.merge(vec)
+        assert reference_merge(vecs, attrs).approx_equal(expected)
+
+    def test_attribute_mismatch_rejected(self):
+        a = SummaryVector.empty(["x"])
+        b = SummaryVector.empty(["y"])
+        with pytest.raises(StatisticsError):
+            a.merge(b)
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(StatisticsError):
+            SummaryVector(
+                {
+                    "x": AttributeSummary.from_values(np.asarray([1.0])),
+                    "y": AttributeSummary.empty(),
+                }
+            )
+
+    def test_empty_identity_attributes(self):
+        e = SummaryVector.empty(["x", "y"])
+        assert e.is_empty
+        assert e["x"] == AttributeSummary.empty()
+        assert math.isinf(e["x"].minimum)

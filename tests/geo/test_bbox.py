@@ -8,20 +8,7 @@ from hypothesis import strategies as st
 
 from repro.errors import GeohashError
 from repro.geo.bbox import BoundingBox
-
-
-def boxes(min_size: float = 1e-3) -> st.SearchStrategy[BoundingBox]:
-    """Strategy for non-degenerate bounding boxes."""
-
-    @st.composite
-    def _box(draw):
-        south = draw(st.floats(-90, 90 - min_size))
-        north = draw(st.floats(south + min_size, 90))
-        west = draw(st.floats(-180, 180 - min_size))
-        east = draw(st.floats(west + min_size, 180))
-        return BoundingBox(south, north, west, east)
-
-    return _box()
+from tests.strategies import boxes
 
 
 class TestConstruction:

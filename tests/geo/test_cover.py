@@ -8,18 +8,7 @@ from repro.errors import GeohashError
 from repro.geo import geohash as gh
 from repro.geo.bbox import BoundingBox
 from repro.geo.cover import covering_cells, covering_count, expand_ring
-
-
-def small_boxes():
-    @st.composite
-    def _box(draw):
-        south = draw(st.floats(-60, 55))
-        west = draw(st.floats(-170, 160))
-        height = draw(st.floats(0.5, 5.0))
-        width = draw(st.floats(0.5, 5.0))
-        return BoundingBox(south, south + height, west, west + width)
-
-    return _box()
+from tests.strategies import small_boxes
 
 
 class TestCoveringCells:

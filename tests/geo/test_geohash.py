@@ -7,15 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import GeohashError
 from repro.geo import geohash as gh
-from repro.geo.bbox import BoundingBox
-
-lats = st.floats(-90, 90, allow_nan=False)
-lons = st.floats(-180, 180, allow_nan=False)
-precisions = st.integers(1, 8)
-
-
-def geohashes(min_precision: int = 1, max_precision: int = 8):
-    return st.text(gh.GEOHASH_ALPHABET, min_size=min_precision, max_size=max_precision)
+from tests.strategies import geohashes, lats, lons, precisions
 
 
 class TestEncodeDecode:

@@ -7,16 +7,7 @@ from hypothesis import strategies as st
 from repro.errors import ResolutionError
 from repro.geo.resolution import Resolution, ResolutionSpace
 from repro.geo.temporal import TemporalResolution
-
-
-def spaces():
-    @st.composite
-    def _space(draw):
-        lo = draw(st.integers(1, 6))
-        hi = draw(st.integers(lo, 8))
-        return ResolutionSpace(lo, hi)
-
-    return _space()
+from tests.strategies import spaces
 
 
 class TestResolution:

@@ -1,0 +1,172 @@
+"""Shared hypothesis strategies for the whole test suite.
+
+One place for the domain vocabulary — coordinates, geohashes, bounding
+boxes, cell keys, resolutions, time ranges, and full aggregation
+queries — instead of near-identical ``@st.composite`` definitions
+copy-pasted per test file.  Strategies default to the ranges the seeded
+test datasets actually cover (February 2013, the NAM domain), so a drawn
+query is usually non-empty.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.keys import CellKey
+from repro.geo import geohash as gh
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution, ResolutionSpace
+from repro.geo.temporal import TemporalResolution, TimeKey, TimeRange
+from repro.query.model import AggregationQuery
+
+#: Whole-globe scalar coordinate strategies.
+lats = st.floats(-90, 90, allow_nan=False)
+lons = st.floats(-180, 180, allow_nan=False)
+precisions = st.integers(1, 8)
+
+
+def geohashes(min_precision: int = 1, max_precision: int = 8):
+    """Valid geohash strings within a precision range."""
+    return st.text(
+        gh.GEOHASH_ALPHABET, min_size=min_precision, max_size=max_precision
+    )
+
+
+def boxes(min_size: float = 1e-3) -> "st.SearchStrategy[BoundingBox]":
+    """Non-degenerate bounding boxes anywhere on the globe."""
+
+    @st.composite
+    def _box(draw):
+        south = draw(st.floats(-90, 90 - min_size))
+        north = draw(st.floats(south + min_size, 90))
+        west = draw(st.floats(-180, 180 - min_size))
+        east = draw(st.floats(west + min_size, 180))
+        return BoundingBox(south, north, west, east)
+
+    return _box()
+
+
+def small_boxes() -> "st.SearchStrategy[BoundingBox]":
+    """Boxes a few degrees across, away from the poles/antimeridian —
+    sized so geohash covers at precisions 2-4 stay small."""
+
+    @st.composite
+    def _box(draw):
+        south = draw(st.floats(-60, 55))
+        west = draw(st.floats(-170, 160))
+        height = draw(st.floats(0.5, 5.0))
+        width = draw(st.floats(0.5, 5.0))
+        return BoundingBox(south, south + height, west, west + width)
+
+    return _box()
+
+
+def resolutions(
+    min_spatial: int = 1, max_spatial: int = 8
+) -> "st.SearchStrategy[Resolution]":
+    """Any (spatial precision, temporal resolution) pair in range."""
+    return st.builds(
+        Resolution,
+        st.integers(min_spatial, max_spatial),
+        st.sampled_from(list(TemporalResolution)),
+    )
+
+
+def spaces() -> "st.SearchStrategy[ResolutionSpace]":
+    """Valid resolution spaces (lo <= hi)."""
+
+    @st.composite
+    def _space(draw):
+        lo = draw(st.integers(1, 6))
+        hi = draw(st.integers(lo, 8))
+        return ResolutionSpace(lo, hi)
+
+    return _space()
+
+
+def time_keys(
+    year: int = 2013,
+) -> "st.SearchStrategy[TimeKey]":
+    """Time keys of every temporal resolution within one year."""
+
+    @st.composite
+    def _key(draw):
+        res = draw(st.sampled_from(list(TemporalResolution)))
+        month = draw(st.integers(1, 12))
+        day = draw(st.integers(1, 28))
+        hour = draw(st.integers(0, 23))
+        parts = (year, month, day, hour)[: res + 1]
+        return TimeKey(parts)
+
+    return _key()
+
+
+def cell_keys(
+    min_precision: int = 2, max_precision: int = 6
+) -> "st.SearchStrategy[CellKey]":
+    """Cell keys across precisions and all temporal resolutions."""
+
+    @st.composite
+    def _key(draw):
+        precision = draw(st.integers(min_precision, max_precision))
+        code = draw(
+            st.text(gh.GEOHASH_ALPHABET, min_size=precision, max_size=precision)
+        )
+        return CellKey(geohash=code, time_key=draw(time_keys()))
+
+    return _key()
+
+
+def day_ranges(
+    first_day: int = 1, last_day: int = 4, max_span: int = 3
+) -> "st.SearchStrategy[TimeRange]":
+    """Time ranges spanning whole February-2013 days (the test datasets)."""
+
+    @st.composite
+    def _range(draw):
+        start = draw(st.integers(first_day, last_day))
+        span = draw(st.integers(1, min(max_span, last_day - start + 1)))
+        return TimeRange(
+            TimeKey.of(2013, 2, start).epoch_range().start,
+            TimeKey.of(2013, 2, start + span - 1).epoch_range().end,
+        )
+
+    return _range()
+
+
+def queries(
+    min_precision: int = 2,
+    max_precision: int = 4,
+    first_day: int = 1,
+    last_day: int = 4,
+    multi_day: bool = False,
+) -> "st.SearchStrategy[AggregationQuery]":
+    """Aggregation queries over the seeded test datasets' extent.
+
+    Rectangles land inside the NAM domain; days default to the single-day
+    shape the original equivalence suite used (set ``multi_day`` for
+    ranges spanning several days).
+    """
+
+    @st.composite
+    def _query(draw):
+        south = draw(st.floats(15.0, 55.0))
+        west = draw(st.floats(-145.0, -65.0))
+        height = draw(st.floats(1.0, 8.0))
+        width = draw(st.floats(1.0, 10.0))
+        precision = draw(st.integers(min_precision, max_precision))
+        temporal = draw(
+            st.sampled_from([TemporalResolution.DAY, TemporalResolution.HOUR])
+        )
+        if multi_day:
+            time_range = draw(day_ranges(first_day, last_day))
+        else:
+            day = draw(st.integers(first_day, last_day))
+            time_range = TimeKey.of(2013, 2, day).epoch_range()
+        return AggregationQuery(
+            bbox=BoundingBox(
+                south, min(90.0, south + height), west, min(180.0, west + width)
+            ),
+            time_range=time_range,
+            resolution=Resolution(precision, temporal),
+        )
+
+    return _query()

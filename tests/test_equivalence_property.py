@@ -6,46 +6,23 @@ drives random query rectangles, days, and resolutions at all three
 engines against one shared dataset.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.baselines.basic import BasicSystem
 from repro.baselines.elastic import ElasticSystem
 from repro.config import ClusterConfig, ElasticConfig, StashConfig
 from repro.core.cluster import StashCluster
 from repro.data.generator import small_test_dataset
-from repro.geo.bbox import BoundingBox
 from repro.geo.resolution import Resolution
-from repro.geo.temporal import TemporalResolution, TimeKey
 from repro.query.model import AggregationQuery
 from repro.storage.backend import ground_truth_cells
+from tests.strategies import queries
 
 DATASET = small_test_dataset(num_records=5_000, num_days=4)
 CONFIG = StashConfig(
     cluster=ClusterConfig(num_nodes=5),
     elastic=ElasticConfig(num_shards=10),
 )
-
-
-@st.composite
-def queries(draw):
-    south = draw(st.floats(15.0, 55.0))
-    west = draw(st.floats(-145.0, -65.0))
-    height = draw(st.floats(1.0, 8.0))
-    width = draw(st.floats(1.0, 10.0))
-    day = draw(st.integers(1, 4))
-    precision = draw(st.integers(2, 4))
-    temporal = draw(
-        st.sampled_from([TemporalResolution.DAY, TemporalResolution.HOUR])
-    )
-    return AggregationQuery(
-        bbox=BoundingBox(
-            south, min(90.0, south + height), west, min(180.0, west + width)
-        ),
-        time_range=TimeKey.of(2013, 2, day).epoch_range(),
-        resolution=Resolution(precision, temporal),
-    )
 
 
 def assert_equals_truth(result, query):
