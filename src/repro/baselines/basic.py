@@ -12,7 +12,7 @@ from typing import Any, Generator
 
 from repro.core.keys import CellKey
 from repro.data.statistics import SummaryVector
-from repro.faults.membership import RPC_FAILED
+from repro.faults.membership import rpc_ok
 from repro.query.model import AggregationQuery
 from repro.sim.engine import Event
 from repro.sim.network import Message
@@ -60,7 +60,7 @@ class BasicNode(StorageNode):
         blocks_unread = 0
         legs_failed = 0
         for nblocks, cells in zip(leg_blocks, partials):
-            if cells is RPC_FAILED:
+            if not rpc_ok(cells):
                 # The peer holding these blocks is gone: degrade rather
                 # than hang — its cells are simply missing from the answer.
                 legs_failed += 1
@@ -124,7 +124,7 @@ class BasicSystem(DistributedSystem):
                 self.catalog,
                 node_id,
                 self.config,
-                membership=self.membership,
+                membership=self.membership_for(node_id),
             )
             for node_id in self.node_ids
         }

@@ -37,7 +37,7 @@ import numpy as np
 from repro.core.keys import CellKey
 from repro.data.observation import ObservationBatch
 from repro.data.statistics import SummaryVector, grouped_summaries
-from repro.faults.membership import RPC_FAILED
+from repro.faults.membership import rpc_ok
 from repro.geo.cover import covering_cells
 from repro.geo.geohash import encode_many
 from repro.geo.temporal import TemporalResolution, bin_epochs
@@ -280,7 +280,7 @@ class ElasticNode(StorageNode):
         from_cache = from_disk = blocks_read = 0
         legs_failed = 0
         for partial in partials:
-            if partial is RPC_FAILED:
+            if not rpc_ok(partial):
                 # A data node (and its shards) is unreachable: its slice
                 # of the corpus is missing from the answer.
                 legs_failed += 1
@@ -368,7 +368,7 @@ class ElasticSystem(DistributedSystem):
                 self.catalog,
                 node_id,
                 self.config,
-                membership=self.membership,
+                membership=self.membership_for(node_id),
                 shards=by_node[node_id],
             )
             for node_id in self.node_ids

@@ -20,9 +20,10 @@ from repro.bench.harness import BenchScale, ExperimentResult
 
 #: Experiment registry: name -> zero-arg-beyond-scale callable.
 def _experiment_registry() -> dict[str, Callable[[BenchScale], ExperimentResult]]:
-    from repro.bench import ablations, experiments, faults
+    from repro.bench import ablations, churn, experiments, faults
 
     return {
+        "churn-recovery": churn.churn_recovery,
         "fault-recovery": faults.fault_crash_recovery,
         "fig6a": experiments.fig6a_latency_by_query_size,
         "fig6b": experiments.fig6b_throughput,
@@ -184,6 +185,18 @@ def _build_parser() -> argparse.ArgumentParser:
     bk.add_argument("--seed", type=int, default=42)
     bk.add_argument(
         "--output", default="BENCH_kernels.json", help="report path ('-' to skip)"
+    )
+    ch = be_sub.add_parser(
+        "churn",
+        help="membership churn: gossip recovery with repair vs cold restart",
+    )
+    ch.add_argument(
+        "--quick", action="store_true",
+        help="unit bench scale (the CI smoke configuration)",
+    )
+    ch.add_argument("--seed", type=int, default=42)
+    ch.add_argument(
+        "--output", default="BENCH_churn.json", help="report path ('-' to skip)"
     )
 
     cf = sub.add_parser(
@@ -490,6 +503,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "churn":
+        return _cmd_bench_churn(args)
     from repro.bench.kernels import (
         DEFAULT_SIZES,
         QUICK_SIZES,
@@ -521,6 +536,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.output != "-":
         try:
             write_report(report, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote report to {args.output}")
+    return 0
+
+
+def _cmd_bench_churn(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.churn import churn_recovery
+    from repro.bench.reporting import ascii_chart
+
+    scale = BenchScale.unit() if args.quick else BenchScale.default()
+    scale = scale.with_(seed=args.seed)
+    result = churn_recovery(scale)
+    print(result.format_table())
+    print()
+    print(ascii_chart(result))
+    if not result.meta.get("warm_recovery_faster"):
+        print(
+            "warning: repair variant did not beat the cold restart "
+            "(recovery_hit_rate_advantage="
+            f"{result.meta.get('recovery_hit_rate_advantage')})",
+            file=sys.stderr,
+        )
+    if args.output != "-":
+        payload = {
+            "name": result.name,
+            "description": result.description,
+            "series": result.series,
+            "meta": result.meta,
+        }
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
         except OSError as exc:
             print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
             return 2

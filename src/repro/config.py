@@ -199,6 +199,12 @@ class FaultConfig:
     #: Backoff before retry ``i`` is ``backoff_base * backoff_multiplier**i``.
     backoff_base: float = 0.5
     backoff_multiplier: float = 2.0
+    #: Fraction of the nominal backoff randomized symmetrically around it
+    #: (0.2 means each delay is drawn from +/-20% of nominal).  0 keeps
+    #: the historical deterministic schedule; >0 decorrelates retries so
+    #: many callers timing out on one dead node don't re-arrive in
+    #: lockstep (a synchronized retry storm).
+    backoff_jitter: float = 0.0
     #: Fault events to inject: a tuple of
     #: :class:`repro.faults.schedule.FaultEvent` (typed loosely so the
     #: config module does not import repro.faults).
@@ -208,6 +214,84 @@ class FaultConfig:
     def active(self) -> bool:
         """Whether any fault machinery should run at all."""
         return self.enabled or bool(self.schedule)
+
+    def backoff_delay(self, attempt: int, rng: Any = None) -> float:
+        """Delay before retry ``attempt`` (0-based), with optional jitter.
+
+        ``rng`` is a ``numpy.random.Generator``; it is only consumed when
+        ``backoff_jitter`` > 0, so jitter-free configs draw nothing and
+        stay bit-identical to the pre-jitter schedule.
+        """
+        delay = self.backoff_base * self.backoff_multiplier**attempt
+        if self.backoff_jitter > 0.0 and rng is not None:
+            spread = self.backoff_jitter * (2.0 * float(rng.random()) - 1.0)
+            delay *= 1.0 + spread
+        return delay
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Epidemic membership: per-node liveness views (repro.faults.gossip).
+
+    When ``enabled`` every participant (each storage node plus the
+    client) keeps its own versioned view of the cluster and exchanges it
+    via periodic push-gossip rounds over the simulated network.  With no
+    faults injected all views agree with the static partition map, so
+    routing — and therefore every simulated result — is byte-identical
+    to the shared-membership baseline.
+    """
+
+    #: Master switch.  Off keeps the instantaneous shared
+    #: ``ClusterMembership`` of PR 2.
+    enabled: bool = False
+    #: Seconds of simulated time between push-gossip rounds.
+    interval: float = 0.25
+    #: Peers each participant pushes its digest to per round.
+    fanout: int = 2
+    #: No heartbeat progress from a peer for this long -> SUSPECT.
+    suspect_after: float = 1.0
+    #: A SUSPECT peer with still no progress for this much longer is
+    #: confirmed DEAD (total silence budget = suspect_after + dead_after).
+    dead_after: float = 1.0
+    #: Serialized bytes per view entry in a gossip digest.
+    wire_size_per_entry: int = 32
+    #: On a confirmed death, survivors promote / re-disperse guest
+    #: replicas covering the dead node's range (anti-entropy repair).
+    repair: bool = True
+    #: On a rejoin, survivors stream the rejoining node's hot cells back
+    #: (handoff) instead of letting it cold-start.
+    handoff: bool = True
+    #: Cap on cells one survivor promotes or ships per death/rejoin.
+    max_repair_cells: int = 5_000
+    #: NOT_OWNER re-route rounds per fetch leg before the coordinator
+    #: forces the final recipient to serve (block placement is static, so
+    #: a forced serve is always correct, merely non-local).
+    max_redirects: int = 2
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Per-node admission control and circuit breaking.
+
+    A bounded admission queue sheds the lowest-priority work first
+    (background population, then replication/cache fetches); evaluate
+    requests are never shed.  Sustained shedding trips a per-node circuit
+    breaker that converts overload into explicit degraded
+    (completeness < 1) answers instead of cascading timeouts.
+    """
+
+    #: Master switch; off leaves dispatch untouched.
+    enabled: bool = False
+    #: Pending-request depth above which priority-0 work (populate,
+    #: replicate, distress) is shed; priority-1 work (fetch_cells, scan)
+    #: is shed above twice this depth.
+    queue_limit: int = 64
+    #: Sheds within ``breaker_window`` that trip the breaker open.
+    breaker_sheds: int = 8
+    #: Sliding window for counting sheds (simulated seconds).
+    breaker_window: float = 1.0
+    #: How long the breaker stays open once tripped (simulated seconds).
+    breaker_cooldown: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -222,6 +306,8 @@ class StashConfig:
     elastic: ElasticConfig = field(default_factory=ElasticConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     #: Enable the dynamic clique replication subsystem (RQ-3).
     enable_replication: bool = True
     #: Enable roll-up recomputation of missing coarse cells from cached

@@ -54,10 +54,16 @@ class StashCluster(DistributedSystem):
                 space=self.space,
                 attribute_names=self.attribute_names,
                 node_index=index,
-                membership=self.membership,
+                membership=self.membership_for(node_id),
             )
             self.nodes[node_id] = node
             node.start()
+            if self.memberships:
+                # Anti-entropy hooks: when *this node's own view* confirms
+                # a death (or sees a rejoin), it repairs / hands back.
+                view = self.memberships[node_id]
+                view.on_dead.append(node.on_peer_confirmed_dead)
+                view.on_alive.append(node.on_peer_rejoined)
 
     # -- cache state inspection ------------------------------------------------
 

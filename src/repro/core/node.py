@@ -29,7 +29,7 @@ from repro.core.planner import plan_query
 from repro.data.block import BlockId
 from repro.data.statistics import SummaryVector
 from repro.dht.partitioner import Partitioner
-from repro.faults.membership import RPC_FAILED
+from repro.faults.membership import rpc_ok
 from repro.geo.resolution import ResolutionSpace
 from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
@@ -153,6 +153,9 @@ class StashNode(StorageNode):
         self._handoff_in_progress = False
         self._last_handoff = -float("inf")
         self.handoffs_completed = 0
+        #: Set iff epidemic membership is on (then ``self.membership`` is
+        #: this node's own :class:`GossipMembership` view).
+        self._gossip = config.gossip if config.gossip.enabled else None
 
         self.register_handler("evaluate", self._handle_evaluate)
         self.register_handler("evaluate_cells", self._handle_evaluate_cells)
@@ -161,6 +164,8 @@ class StashNode(StorageNode):
         self.register_handler("populate", self._handle_populate)
         self.register_handler("distress", self._handle_distress)
         self.register_handler("replicate", self._handle_replicate)
+        self.register_handler("repair", self._handle_repair)
+        self.register_handler("handoff", self._handle_handoff)
 
     # ------------------------------------------------------------------
     # fault-aware routing and lifecycle
@@ -255,8 +260,10 @@ class StashNode(StorageNode):
                         {"ncells": clique.size},
                         size=64,
                     )
-                    # RPC_FAILED is truthy: test identity, not truth.
-                    if ack is not RPC_FAILED and ack:
+                    # ack is True / False / RPC_FAILED / RPC_SHED; the
+                    # sentinels raise on truth-testing, so compare by
+                    # identity (only an explicit acceptance counts).
+                    if ack is True:
                         helper = candidate
                         break
                 if helper is None:
@@ -277,7 +284,7 @@ class StashNode(StorageNode):
                     {"root": clique.root, "cells": payload_cells},
                     size=len(payload_cells) * self.cost.cell_wire_size,
                 )
-                if ok is not RPC_FAILED and ok:
+                if ok is True:
                     self.routing.add(
                         clique.root,
                         helper,
@@ -442,6 +449,21 @@ class StashNode(StorageNode):
 
     def _handle_fetch_cells(self, message: Message) -> Generator[Event, Any, None]:
         yield self.sim.timeout(self.cost.request_overhead)
+        if self._gossip is not None and not message.payload.get("force"):
+            # Misroute tolerance: under diverging views a coordinator may
+            # address keys we don't own in *our* view.  Instead of serving
+            # a cold miss, answer NOT_OWNER with our view so the caller
+            # can merge it and re-route (paper's zero-hop map, made
+            # eventually consistent).
+            if not self._owns_all(message.payload["cells"]):
+                self.counters.increment("fetch_not_owner")
+                digest = self.membership.digest()
+                self.network.respond(
+                    message,
+                    {"not_owner": digest},
+                    size=len(digest) * self._gossip.wire_size_per_entry,
+                )
+                return
         response = yield from self._fetch_cells_impl(
             message.payload, parent=message.span
         )
@@ -451,10 +473,40 @@ class StashNode(StorageNode):
             size=len(response["found"]) * self.cost.cell_wire_size,
         )
 
+    def _owns_all(self, keys: list[CellKey]) -> bool:
+        """Whether this node owns every key under its own current view."""
+        seen: set[str] = set()
+        for key in keys:
+            geohash = key.geohash
+            if geohash in seen:
+                continue
+            seen.add(geohash)
+            if self.membership.node_for(geohash) != self.node_id:
+                return False
+        return True
+
     def _handle_populate(self, message: Message) -> Generator[Event, Any, None]:
         """Background cache population (paper VIII-C-2: separate thread)."""
         yield self.sim.timeout(self.cost.request_overhead)
         cells: dict[CellKey, SummaryVector] = message.payload["cells"]
+        if self._gossip is not None:
+            # Misdirected population (diverging views): caching cells we
+            # don't own would strand them where no fetch will ever look.
+            owned_memo: dict[str, bool] = {}
+            kept: dict[CellKey, SummaryVector] = {}
+            for key, summary in cells.items():
+                owned = owned_memo.get(key.geohash)
+                if owned is None:
+                    owned = owned_memo[key.geohash] = (
+                        self.membership.node_for(key.geohash) == self.node_id
+                    )
+                if owned:
+                    kept[key] = summary
+            if len(kept) != len(cells):
+                self.counters.increment(
+                    "populate_misdirected", len(cells) - len(kept)
+                )
+            cells = kept
         inserted = 0
         for key, summary in cells.items():
             blocks = frozenset(self.catalog.blocks_for_cell(key))
@@ -478,6 +530,149 @@ class StashNode(StorageNode):
         evicted = self.eviction.enforce(self.graph, self.tracker, now)
         if evicted:
             self.counters.increment("cells_evicted", len(evicted))
+
+    # ------------------------------------------------------------------
+    # anti-entropy repair and rejoin handoff (gossip mode)
+    # ------------------------------------------------------------------
+
+    def on_peer_confirmed_dead(self, peer: str) -> None:
+        """Membership callback: a peer's death was just confirmed here.
+
+        Survivors holding guest replicas of the dead node's range promote
+        or re-disperse them so the working set stays warm instead of
+        cold-starting behind the repaired ring.
+        """
+        if self._gossip is None or not self._gossip.repair:
+            return
+        if self._workers_stale:  # we are down ourselves
+            return
+        self.sim.process(self._repair_after_death(peer))
+
+    def on_peer_rejoined(self, peer: str) -> None:
+        """Membership callback: a dead peer is back (new incarnation)."""
+        if self._gossip is None or not self._gossip.handoff:
+            return
+        if self._workers_stale:
+            return
+        self.sim.process(self._handoff_back(peer))
+
+    def _repair_after_death(self, peer: str) -> Generator[Event, Any, None]:
+        """Promote / re-disperse guest cells covering a dead node's range.
+
+        Base ownership (``partitioner``) identifies the dead node's
+        cells; our repaired view says where they live now.  Cells this
+        node now owns are promoted into the local graph; the rest are
+        shipped to their new owners as ``repair`` batches.  Guest copies
+        stay behind (the TTL purge collects them) so a lost repair never
+        loses data that was replicated.
+        """
+        gossip = self._gossip
+        assert gossip is not None
+        promote: list[tuple[CellKey, SummaryVector, frozenset[BlockId]]] = []
+        ship: dict[str, list[tuple[CellKey, SummaryVector, frozenset[BlockId]]]] = {}
+        count = 0
+        for cell in list(self.guest.cells()):
+            if count >= gossip.max_repair_cells:
+                break
+            key = cell.key
+            if self.partitioner.node_for(key.geohash) != peer:
+                continue
+            new_owner = self.membership.node_for(key.geohash)
+            if new_owner == peer:
+                continue
+            blocks = self.guest.plm.blocks_of(self.guest.level_of(key), key)
+            entry = (key, cell.summary, blocks)
+            if new_owner == self.node_id:
+                promote.append(entry)
+            else:
+                ship.setdefault(new_owner, []).append(entry)
+            count += 1
+        if promote:
+            inserted = [
+                key
+                for key, summary, blocks in promote
+                if self.graph.upsert(Cell(key=key, summary=summary), blocks)
+            ]
+            yield self.sim.timeout(len(inserted) * self.cost.cell_insert_cost)
+            now = self.sim.now
+            self.tracker.touch_cells(self.graph, inserted, now)
+            self.counters.increment("repair_cells_promoted", len(inserted))
+            evicted = self.eviction.enforce(self.graph, self.tracker, now)
+            if evicted:
+                self.counters.increment("cells_evicted", len(evicted))
+        for owner, batch in sorted(ship.items()):
+            if not self._peer_live(owner):
+                continue
+            ack = yield self.request_resilient(
+                owner,
+                "repair",
+                {"cells": batch},
+                size=len(batch) * self.cost.cell_wire_size,
+            )
+            if ack is True:
+                self.counters.increment("repair_cells_shipped", len(batch))
+
+    def _handoff_back(self, peer: str) -> Generator[Event, Any, None]:
+        """Stream a rejoined node's partition back to it.
+
+        Any cell in our *local* graph whose base owner is the rejoined
+        peer was adopted during its outage (repair promotion or interim
+        population); ship it back — with backing-block sets so the
+        peer's PLM bitmaps rebuild consistently — then drop our copy so
+        ownership is single-homed again.
+        """
+        gossip = self._gossip
+        assert gossip is not None
+        batch: list[tuple[CellKey, SummaryVector, frozenset[BlockId]]] = []
+        for cell in list(self.graph.cells()):
+            if len(batch) >= gossip.max_repair_cells:
+                break
+            key = cell.key
+            if self.partitioner.node_for(key.geohash) != peer:
+                continue
+            blocks = self.graph.plm.blocks_of(self.graph.level_of(key), key)
+            batch.append((key, cell.summary, blocks))
+        if not batch:
+            return
+        ack = yield self.request_resilient(
+            peer,
+            "handoff",
+            {"cells": batch},
+            size=len(batch) * self.cost.cell_wire_size,
+        )
+        if ack is True:
+            for key, _, _ in batch:
+                if self.graph.contains(key):
+                    self.graph.remove(key)
+            self.counters.increment("handoff_cells_streamed", len(batch))
+
+    def _absorb_cells(
+        self, message: Message, counter: str
+    ) -> Generator[Event, Any, None]:
+        """Insert shipped (key, summary, blocks) triples into the graph."""
+        yield self.sim.timeout(self.cost.request_overhead)
+        cells: list[tuple[CellKey, SummaryVector, frozenset[BlockId]]] = (
+            message.payload["cells"]
+        )
+        inserted = [
+            key
+            for key, summary, blocks in cells
+            if self.graph.upsert(Cell(key=key, summary=summary), blocks)
+        ]
+        yield self.sim.timeout(len(inserted) * self.cost.cell_insert_cost)
+        now = self.sim.now
+        self.tracker.touch_cells(self.graph, inserted, now)
+        self.counters.increment(counter, len(inserted))
+        evicted = self.eviction.enforce(self.graph, self.tracker, now)
+        if evicted:
+            self.counters.increment("cells_evicted", len(evicted))
+        self.network.respond(message, True, size=16)
+
+    def _handle_repair(self, message: Message) -> Generator[Event, Any, None]:
+        yield from self._absorb_cells(message, "repair_cells_received")
+
+    def _handle_handoff(self, message: Message) -> Generator[Event, Any, None]:
+        yield from self._absorb_cells(message, "handoff_cells_received")
 
     # ------------------------------------------------------------------
     # coordinator role
@@ -563,7 +758,13 @@ class StashNode(StorageNode):
                 "ring": ring_by_owner.get(owner, []),
             }
             legs.append(owner)
-            if owner == self.node_id:
+            if self._gossip is not None:
+                events.append(
+                    self.sim.process(
+                        self._fetch_leg(owner, payload, parent, depth=0)
+                    )
+                )
+            elif owner == self.node_id:
                 events.append(
                     self.sim.process(self._fetch_cells_impl(payload, parent=parent))
                 )
@@ -583,9 +784,9 @@ class StashNode(StorageNode):
         missing: list[CellKey] = []
         from_cache = from_rollup = 0
         for owner, response in zip(legs, responses):
-            if response is RPC_FAILED:
-                # Owner unreachable: treat its whole key share as cache
-                # misses and try the disk path instead.
+            if not rpc_ok(response):
+                # Owner unreachable (or shedding): treat its whole key
+                # share as cache misses and try the disk path instead.
                 self.counters.increment("fetch_legs_failed")
                 missing.extend(cells_by_owner[owner])
                 continue
@@ -603,7 +804,16 @@ class StashNode(StorageNode):
         }
 
         unresolved: list[CellKey] = []
-        if missing:
+        if missing and self.overload is not None and self.overload.breaker_open(
+            self.sim.now
+        ):
+            # Circuit open under sustained overload: skip the expensive
+            # disk-resolution path and answer from what the cache gave
+            # us.  The holes are reported unresolved (completeness < 1),
+            # never fabricated, and degraded answers are never cached.
+            self.counters.increment("breaker_degraded")
+            unresolved = missing
+        elif missing:
             new_cells, unresolved = yield from self._resolve_missing(
                 query, missing, provenance, parent=parent
             )
@@ -624,6 +834,82 @@ class StashNode(StorageNode):
             "provenance": provenance,
             "completeness": completeness,
         }
+
+    def _fetch_leg(
+        self,
+        owner: str,
+        payload: dict[str, Any],
+        parent: Span | None,
+        depth: int,
+    ) -> Generator[Event, Any, Any]:
+        """One fetch_cells leg under gossip: local, remote, or re-routed.
+
+        A ``NOT_OWNER`` reply carries the responder's membership view;
+        we merge it into our own (fresher evidence wins per peer), split
+        the leg's keys by owner under the updated view, and recurse.
+        Depth is bounded by ``gossip.max_redirects``; the final round is
+        sent with ``force`` — block placement is static, so a forced
+        serve is always *correct*, merely non-local.  Returns a normal
+        fetch response dict, or an RPC sentinel for a whole-leg failure.
+        """
+        gossip = self._gossip
+        assert gossip is not None
+        if owner == self.node_id:
+            response = yield self.sim.process(
+                self._fetch_cells_impl(payload, parent=parent)
+            )
+            return response
+        if depth >= gossip.max_redirects:
+            payload = dict(payload, force=True)
+        reply = yield self.request_resilient(
+            owner,
+            "fetch_cells",
+            payload,
+            size=len(payload["cells"]) * 32,
+            parent=parent,
+        )
+        if not rpc_ok(reply) or "not_owner" not in reply:
+            return reply
+        self.counters.increment("fetch_redirects")
+        self.membership.merge(reply["not_owner"], self.sim.now)
+        owner_memo: dict[str, str] = {}
+        cells_by_owner = self._group_by_owner(payload["cells"], owner_memo)
+        ring_by_owner = self._group_by_owner(
+            payload.get("ring", []), owner_memo
+        )
+        sub_owners = sorted(cells_by_owner)
+        subs = yield self.sim.all_of(
+            [
+                self.sim.process(
+                    self._fetch_leg(
+                        sub,
+                        {
+                            "query": payload["query"],
+                            "cells": cells_by_owner[sub],
+                            "ring": ring_by_owner.get(sub, []),
+                        },
+                        parent,
+                        depth + 1,
+                    )
+                )
+                for sub in sub_owners
+            ]
+        )
+        combined: dict[str, Any] = {
+            "found": {},
+            "missing": [],
+            "stats": {"cached": 0, "rollup": 0},
+        }
+        for sub, response in zip(sub_owners, subs):
+            if not rpc_ok(response):
+                self.counters.increment("fetch_legs_failed")
+                combined["missing"].extend(cells_by_owner[sub])
+                continue
+            combined["found"].update(response["found"])
+            combined["missing"].extend(response["missing"])
+            combined["stats"]["cached"] += response["stats"]["cached"]
+            combined["stats"]["rollup"] += response["stats"]["rollup"]
+        return combined
 
     def _resolve_missing(
         self,
@@ -681,9 +967,10 @@ class StashNode(StorageNode):
         unread_blocks: set[BlockId] = set()
         merges = 0
         for (node_id, ids), cells in zip(scan_legs, partials):
-            if cells is RPC_FAILED:
-                # Blocks physically on a dead node are unreadable until
-                # it restarts; every cell depending on them is degraded.
+            if not rpc_ok(cells):
+                # Blocks on a dead node are unreadable until it restarts;
+                # an overloaded node sheds the scan outright.  Either
+                # way, every cell depending on them is degraded.
                 self.counters.increment("scan_legs_failed")
                 unread_blocks.update(ids)
                 continue

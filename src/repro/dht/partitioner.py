@@ -69,6 +69,20 @@ class Partitioner(ABC):
         remaining = [n for n in self.node_ids if n != node_id]
         return type(self)(remaining, self.partition_precision)
 
+    def without_nodes(self, node_ids: "set[str] | frozenset[str]") -> "Partitioner":
+        """Ring repair for a whole dead-set at once.
+
+        Removes nodes one at a time in base order, so the result is
+        identical to chained :meth:`without_node` calls regardless of the
+        order deaths were observed in — every membership view that agrees
+        on *which* nodes are dead agrees on the repaired map.
+        """
+        view: Partitioner = self
+        for node_id in self.node_ids:
+            if node_id in node_ids:
+                view = view.without_node(node_id)
+        return view
+
 
 class PrefixPartitioner(Partitioner):
     """Uniform modulo placement of geohash prefixes (Galileo-style)."""

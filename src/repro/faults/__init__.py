@@ -9,6 +9,11 @@ the discrete-event simulator:
 * :mod:`repro.faults.membership` — the cluster's shared zero-hop view of
   which nodes are live, with DHT ring repair via
   ``Partitioner.without_node`` when a node is declared dead;
+* :mod:`repro.faults.gossip` — per-node epidemic membership: versioned
+  liveness views, SWIM-style alive/suspect/dead aging, and periodic
+  push-gossip rounds (enabled via ``GossipConfig``);
+* :mod:`repro.faults.overload` — per-node admission control (load
+  shedding) and a circuit breaker for sustained overload;
 * :mod:`repro.faults.injector` — the process that drives a schedule
   against a running system.
 
@@ -22,8 +27,15 @@ layer is inert: no extra simulation events are created, so existing
 experiments are bit-identical to runs without this package.
 """
 
+from repro.faults.gossip import GossipAgent, GossipMembership, PeerState
 from repro.faults.injector import FaultInjector
-from repro.faults.membership import RPC_FAILED, ClusterMembership
+from repro.faults.membership import (
+    RPC_FAILED,
+    RPC_SHED,
+    ClusterMembership,
+    rpc_ok,
+)
+from repro.faults.overload import OverloadGuard
 from repro.faults.schedule import FaultEvent, FaultSchedule
 
 __all__ = [
@@ -31,5 +43,11 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultSchedule",
+    "GossipAgent",
+    "GossipMembership",
+    "OverloadGuard",
+    "PeerState",
     "RPC_FAILED",
+    "RPC_SHED",
+    "rpc_ok",
 ]

@@ -86,6 +86,11 @@ class FaultInjector:
     def _crash(self, node_id: str) -> None:
         self.system.network.set_down(node_id, True)
         self.system.nodes[node_id].crash()
+        agent = self.system.gossip_agents.get(node_id)
+        if agent is not None:
+            # The node's heartbeats stop and its view is wiped; peers
+            # discover the death via gossip aging (or RPC timeouts).
+            agent.crash()
         self.system.fault_counters.increment("node_crashes")
         self._log(f"crash {node_id}")
 
@@ -93,9 +98,15 @@ class FaultInjector:
         node = self.system.nodes[node_id]
         node.restart()
         self.system.network.set_down(node_id, False)
-        # Zero-hop "announcement": every peer sees the node live again
-        # and the original partition map is restored for its keys.
-        self.system.membership.revive(node_id)
+        agent = self.system.gossip_agents.get(node_id)
+        if agent is not None:
+            # Rejoin under a fresh incarnation; liveness spreads
+            # epidemically and survivors hand the node's cells back.
+            agent.rejoin()
+        else:
+            # Zero-hop "announcement": every peer sees the node live again
+            # and the original partition map is restored for its keys.
+            self.system.membership.revive(node_id)
         self.system.fault_counters.increment("node_restarts")
         self._log(f"restart {node_id}")
 

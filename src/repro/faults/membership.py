@@ -10,8 +10,13 @@ subsequent lookups route around the failure.  A restarted node is
 revived and the original map restored.
 
 ``RPC_FAILED`` is the sentinel a fault-aware RPC leg resolves to once
-its target is (or has been declared) dead.  It is a *truthy* object —
-always compare with ``is RPC_FAILED``, never rely on truthiness.
+its target is (or has been declared) dead; ``RPC_SHED`` is its sibling
+for a leg an overloaded peer rejected outright (fast explicit failure —
+the peer is alive, just shedding).  Both must be compared with ``is``;
+evaluating either in boolean context raises ``TypeError`` so an
+accidental ``if reply:`` fails loudly instead of silently treating a
+failure as data.  Use :func:`rpc_ok` when you only care whether a reply
+carries a real value.
 
 When no node has ever been declared dead, :meth:`node_for` delegates to
 the original partitioner untouched, so fault-free runs route exactly as
@@ -24,21 +29,38 @@ from repro.dht.partitioner import Partitioner
 from repro.errors import FaultError
 
 
-class _RpcFailed:
-    """Singleton sentinel for an RPC leg that gave up on a dead peer."""
+class _RpcSentinel:
+    """Interned per-name sentinel for a failed RPC leg."""
 
-    _instance = None
+    _instances: dict[str, "_RpcSentinel"] = {}
 
-    def __new__(cls):
-        if cls._instance is None:
-            cls._instance = super().__new__(cls)
-        return cls._instance
+    def __new__(cls, name: str):
+        instance = cls._instances.get(name)
+        if instance is None:
+            instance = cls._instances[name] = super().__new__(cls)
+            instance._name = name
+        return instance
 
     def __repr__(self) -> str:
-        return "RPC_FAILED"
+        return self._name
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            f"{self._name} has no truth value; compare with "
+            f"'is {self._name}' (or use rpc_ok())"
+        )
 
 
-RPC_FAILED = _RpcFailed()
+#: The peer is (or has been declared) dead and retries are exhausted.
+RPC_FAILED = _RpcSentinel("RPC_FAILED")
+#: The peer is alive but shed the request under overload (no retries —
+#: the rejection is an explicit, immediate signal).
+RPC_SHED = _RpcSentinel("RPC_SHED")
+
+
+def rpc_ok(reply: object) -> bool:
+    """True when ``reply`` is a real value, not an RPC failure sentinel."""
+    return reply is not RPC_FAILED and reply is not RPC_SHED
 
 
 class ClusterMembership:
@@ -113,9 +135,10 @@ class ClusterMembership:
         return True
 
     def _rebuild_view(self) -> None:
-        """Recompute the routing view as base minus dead, in base order."""
-        view = self._base
-        for node_id in self._base.node_ids:
-            if node_id in self._dead:
-                view = view.without_node(node_id)
-        self._view = view
+        """Recompute the routing view as base minus dead, in base order.
+
+        Always derived from the *full* remaining dead-set, never patched
+        incrementally: reviving one node while another is still dead must
+        yield the repaired-map-minus-the-still-dead, not the original map.
+        """
+        self._view = self._base.without_nodes(self._dead)

@@ -34,6 +34,8 @@ from repro.config import (
     ClusterConfig,
     EvictionConfig,
     FaultConfig,
+    GossipConfig,
+    OverloadConfig,
     ReplicationConfig,
     StashConfig,
 )
@@ -448,6 +450,56 @@ def _axis_faults(dataset, rng, n) -> AxisRun:
     return AxisRun(cluster, list(zip(queries, results)))
 
 
+def _axis_churn(dataset, rng, n) -> AxisRun:
+    """Membership churn under gossip: crash/restart with anti-entropy.
+
+    Unlike the ``faults`` axis (shared membership, instantaneous
+    failover), every node here keeps its *own* epidemic liveness view:
+    the crash is detected by heartbeat silence, views converge while
+    queries race the rumor, misrouted legs bounce through the NOT_OWNER
+    protocol, survivors promote guest replicas of the dead node's range,
+    and the restarted node rejoins via handoff.  Overload protection is
+    armed too, so shed-and-degrade paths face the oracle.  The policy is
+    unchanged: a degraded answer may be a *subset*, but any cell it does
+    return must match the oracle — never fabricated.
+    """
+    queries = exploration_workload(rng, n, _DAYS, dataset.attribute_names)
+    base = _base_config()
+    node_ids = [f"node-{i}" for i in range(base.cluster.num_nodes)]
+    partitioner = PrefixPartitioner(node_ids, base.cluster.partition_precision)
+    lat, lon = queries[0].bbox.center
+    target = partitioner.node_for(encode(lat, lon, base.cluster.partition_precision))
+    schedule = (
+        FaultEvent(kind="crash", at=0.3, node=target),
+        FaultEvent(kind="restart", at=2.0, node=target),
+    )
+    config = base.with_(
+        faults=FaultConfig(
+            enabled=True,
+            rpc_timeout=0.25,
+            evaluate_timeout=1.0,
+            max_retries=1,
+            backoff_jitter=0.2,
+            schedule=schedule,
+        ),
+        # Tight timings so suspect -> dead -> repair -> rejoin all land
+        # inside the workload window.
+        gossip=GossipConfig(
+            enabled=True,
+            interval=0.05,
+            fanout=2,
+            suspect_after=0.2,
+            dead_after=0.2,
+        ),
+        overload=OverloadConfig(enabled=True, queue_limit=32),
+    )
+    cluster = StashCluster(dataset, config)
+    rate = max(16.0, len(queries) / 3.0)
+    results = cluster.run_open_loop(queries, rate=rate, seed=int(rng.integers(2**31)))
+    cluster.drain()
+    return AxisRun(cluster, list(zip(queries, results)))
+
+
 #: name -> (description, runner).  Order is report order.
 AXES: dict[str, tuple[str, Callable]] = {
     "cold-cache": ("fresh cluster, serial workload", _axis_cold_cache),
@@ -461,6 +513,10 @@ AXES: dict[str, tuple[str, Callable]] = {
         _axis_replication_hotspot,
     ),
     "faults": ("coordinator crash/restart + link loss", _axis_faults),
+    "churn": (
+        "gossip membership churn: crash/restart + anti-entropy + overload",
+        _axis_churn,
+    ),
 }
 
 #: Days of :func:`~repro.data.generator.conformance_dataset`.

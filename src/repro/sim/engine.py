@@ -95,18 +95,30 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    A **daemon** timeout is background housekeeping (gossip rounds,
+    periodic sweeps): it fires normally while the simulation has live
+    work, but pending daemon timeouts alone do not keep ``run()`` alive
+    — the schedule is considered drained when only daemons remain.
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        daemon: bool = False,
+    ):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
         super().__init__(sim)
         self.delay = delay
         self._triggered = True
         self._value = value
-        sim._schedule(self, delay=delay)
+        sim._schedule(self, delay=delay, daemon=daemon)
 
 
 class Process(Event):
@@ -214,12 +226,15 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a heap of (time, sequence, event)."""
+    """The event loop: a heap of (time, sequence, event, daemon)."""
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, Event, bool]] = []
         self._sequence = 0
+        #: Number of scheduled non-daemon entries.  ``run()`` drains only
+        #: while this is positive; daemon timeouts alone don't count as work.
+        self._live = 0
         #: Passive observers called as ``hook(now)`` after every processed
         #: event.  Hooks must only *read* simulation state (metrics
         #: sampling, progress reporting); scheduling from a hook would
@@ -231,8 +246,10 @@ class Simulator:
     def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    def timeout(
+        self, delay: float, value: Any = None, daemon: bool = False
+    ) -> Timeout:
+        return Timeout(self, delay, value, daemon=daemon)
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         return Process(self, generator)
@@ -245,9 +262,13 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
 
-    def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+    def _schedule(self, event: Event, delay: float, daemon: bool = False) -> None:
+        heapq.heappush(
+            self._heap, (self.now + delay, self._sequence, event, daemon)
+        )
         self._sequence += 1
+        if not daemon:
+            self._live += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf when idle."""
@@ -257,7 +278,9 @@ class Simulator:
         """Process exactly one scheduled event."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        time, _seq, event = heapq.heappop(self._heap)
+        time, _seq, event, daemon = heapq.heappop(self._heap)
+        if not daemon:
+            self._live -= 1
         self.now = time
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
@@ -280,7 +303,9 @@ class Simulator:
         if isinstance(until, Event):
             sentinel = until
             while not sentinel.processed:
-                if not self._heap:
+                # Daemon timeouts only reschedule themselves; if they are
+                # all that remains, the awaited event can never fire.
+                if not self._heap or self._live == 0:
                     raise SimulationError(
                         "simulation ran dry before the awaited event fired"
                     )
@@ -290,6 +315,8 @@ class Simulator:
         if deadline < self.now:
             raise SimulationError("run(until) deadline is in the past")
         while self._heap and self._heap[0][0] <= deadline:
+            if until is None and self._live == 0:
+                break  # drained: only daemon housekeeping left
             self.step()
         if until is not None:
             self.now = deadline

@@ -122,7 +122,20 @@ class Network:
         """Add ``extra`` one-way latency to matching messages."""
         self._delay_rules.append((start, until, src, dst, extra))
 
+    @staticmethod
+    def _fault_id(endpoint: str) -> str:
+        """Endpoint id as seen by fault rules.
+
+        Auxiliary endpoints (``gossip:<node>``) share their owner's fate:
+        crashing or partitioning a node silences its gossip traffic too.
+        """
+        if endpoint.startswith("gossip:"):
+            return endpoint.partition(":")[2]
+        return endpoint
+
     def _should_drop(self, sender: str, recipient: str) -> bool:
+        sender = self._fault_id(sender)
+        recipient = self._fault_id(recipient)
         if sender in self._down or recipient in self._down:
             return True
         now = self.sim.now
@@ -138,6 +151,8 @@ class Network:
     def _extra_delay(self, sender: str, recipient: str) -> float:
         extra = 0.0
         now = self.sim.now
+        sender = self._fault_id(sender)
+        recipient = self._fault_id(recipient)
         for start, until, src, dst, amount in self._delay_rules:
             if (
                 start <= now < until

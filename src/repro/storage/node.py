@@ -11,12 +11,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
+import numpy as np
+
 from repro.config import StashConfig
 from repro.core.keys import CellKey
 from repro.data.block import Block, BlockId
 from repro.data.statistics import SummaryVector
+from repro.dht.partitioner import _stable_hash
 from repro.errors import StorageError
-from repro.faults.membership import RPC_FAILED, ClusterMembership
+from repro.faults.gossip import GossipMembership
+from repro.faults.membership import RPC_FAILED, RPC_SHED, ClusterMembership
+from repro.faults.overload import OverloadGuard
 from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
 from repro.sim.disk import Disk
@@ -46,7 +51,7 @@ class StorageNode:
         catalog: StorageCatalog,
         node_id: str,
         config: StashConfig,
-        membership: ClusterMembership | None = None,
+        membership: "ClusterMembership | GossipMembership | None" = None,
     ):
         self.sim = sim
         self.network = network
@@ -55,6 +60,14 @@ class StorageNode:
         self.config = config
         self.cost = config.cost
         self.membership = membership
+        self.overload = (
+            OverloadGuard(config.overload) if config.overload.enabled else None
+        )
+        #: Dedicated stream for retry-backoff jitter; consumed only when
+        #: ``faults.backoff_jitter`` > 0, so jitter-free runs draw nothing.
+        self._backoff_rng = np.random.default_rng(
+            [config.cluster.seed, 65_537, _stable_hash(node_id) % 2**31]
+        )
         self.inbox = network.register(node_id)
         self.tracer = network.tracer
         self.disk = Disk(sim, self.cost, node_id, tracer=network.tracer)
@@ -105,11 +118,30 @@ class StorageNode:
     def _dispatcher(self) -> Generator[Event, Any, None]:
         while True:
             message = yield self.inbox.get()
+            if self.overload is not None and self.overload.shed_class(
+                message.kind, self.pending_requests
+            ):
+                self._shed(message)
+                continue
             self.on_message_arrival(message)
             if message.kind in COORDINATOR_KINDS:
                 self._coord_queue.put(message)
             else:
                 self._service_queue.put(message)
+
+    def _shed(self, message: Message) -> None:
+        """Reject a message at admission (overload protection).
+
+        RPC callers get an immediate explicit :data:`RPC_SHED` reply —
+        a fast rejection they must not confuse with a death; one-way
+        messages (``populate``) are dropped silently.
+        """
+        assert self.overload is not None
+        self.overload.record_shed(self.sim.now)
+        self.counters.increment("requests_shed")
+        self.counters.increment(f"shed:{message.kind}")
+        if message.reply_to is not None:
+            self.network.respond(message, RPC_SHED, size=16)
 
     def on_message_arrival(self, message: Message) -> None:
         """Hook invoked as each message is dequeued from the network inbox.
@@ -188,9 +220,12 @@ class StorageNode:
         same events, same costs, bit-identical schedules.  Active, the
         request runs under a timeout/retry/backoff loop and the returned
         event resolves to :data:`RPC_FAILED` once the peer is hopeless,
-        declaring it dead in the shared membership so the DHT ring
-        repairs around it.  Callers must test ``value is RPC_FAILED``
-        (the sentinel is truthy).
+        declaring it dead in this node's membership view (shared, or
+        per-node under gossip) so the DHT ring repairs around it.  An
+        overloaded peer may instead answer :data:`RPC_SHED` — alive but
+        shedding; that reply passes through as-is and is never grounds
+        for a death declaration.  Callers must compare with ``is``
+        (the sentinels raise on truth-testing).
         """
         if self.membership is None or not self.config.faults.active:
             return self.network.request(
@@ -239,7 +274,7 @@ class StorageNode:
                     attrs={"to": recipient, "attempt": attempt},
                 )
             if attempt + 1 < attempts:
-                backoff = faults.backoff_base * faults.backoff_multiplier**attempt
+                backoff = faults.backoff_delay(attempt, self._backoff_rng)
                 self.counters.increment("rpc_retries")
                 if self.tracer.enabled:
                     self.tracer.record(

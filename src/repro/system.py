@@ -15,10 +15,18 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Generator
 
+import numpy as np
+
 from repro.config import DEFAULT_CONFIG, StashConfig
 from repro.data.observation import ObservationBatch
-from repro.dht.partitioner import PrefixPartitioner
+from repro.dht.partitioner import PrefixPartitioner, _stable_hash
 from repro.errors import QueryError
+from repro.faults.gossip import (
+    GossipAgent,
+    GossipMembership,
+    suspect_count,
+    view_divergence,
+)
 from repro.faults.membership import ClusterMembership
 from repro.obs.critical_path import attribute_span
 from repro.obs.registry import MetricsRegistry
@@ -53,9 +61,26 @@ class DistributedSystem(ABC):
         self.partitioner = PrefixPartitioner(
             self.node_ids, config.cluster.partition_precision
         )
-        self.membership = ClusterMembership(self.partitioner)
+        #: Per-participant liveness views under gossip; empty otherwise.
+        self.memberships: dict[str, GossipMembership] = {}
+        self.gossip_agents: dict[str, GossipAgent] = {}
+        if config.gossip.enabled:
+            participants = self.node_ids + [CLIENT_ID]
+            for pid in participants:
+                self.memberships[pid] = GossipMembership(
+                    pid, self.partitioner, config.gossip, participants
+                )
+            # The client's view plays the role the shared object used to:
+            # it is what ``coordinator_for`` routes through and what the
+            # CLI / gauges report.
+            self.membership: Any = self.memberships[CLIENT_ID]
+        else:
+            self.membership = ClusterMembership(self.partitioner)
         self.fault_counters = CounterSet()
         self.fault_injector: Any = None
+        self._backoff_rng = np.random.default_rng(
+            [config.cluster.seed, 65_537, _stable_hash(CLIENT_ID) % 2**31]
+        )
         self.catalog = StorageCatalog(
             self.partitioner, block_precision=config.cluster.block_precision
         )
@@ -78,11 +103,39 @@ class DistributedSystem(ABC):
     def _start_nodes(self) -> None:
         """Create and start this system's node processes."""
 
+    def membership_for(self, node_id: str):
+        """The liveness view a node should route through.
+
+        Under gossip every node gets its *own* view; otherwise all nodes
+        share the single :class:`ClusterMembership`.
+        """
+        if self.memberships:
+            return self.memberships[node_id]
+        return self.membership
+
+    def _start_gossip(self) -> None:
+        """Spawn one gossip agent per participant (deterministic order)."""
+        cfg = self.config.gossip
+        for index, (pid, view) in enumerate(sorted(self.memberships.items())):
+            agent = GossipAgent(
+                self.sim,
+                self.network,
+                view,
+                cfg,
+                self.config.cost,
+                agent_index=index,
+                seed=self.config.cluster.seed,
+            )
+            self.gossip_agents[pid] = agent
+            agent.start()
+
     def start(self) -> None:
         """Bring the cluster up; idempotent."""
         if not self._nodes_started:
             self._start_nodes()
             self._nodes_started = True
+            if self.memberships:
+                self._start_gossip()
             self._register_default_gauges()
             if self.config.faults.schedule:
                 from repro.faults.injector import FaultInjector
@@ -143,6 +196,43 @@ class DistributedSystem(ABC):
             "cluster.degraded_answers",
             self._fault_counter_total("degraded_answers"),
         )
+        if self.memberships:
+            node_views = [self.memberships[n] for n in self.node_ids]
+            self.metrics.gauge(
+                "gossip.view_divergence",
+                lambda v=node_views: float(view_divergence(v)),
+            )
+            self.metrics.gauge(
+                "gossip.suspects",
+                lambda v=node_views: float(suspect_count(v)),
+            )
+            self.metrics.gauge(
+                "gossip.repair_cells_promoted",
+                self._fault_counter_total("repair_cells_promoted"),
+            )
+            self.metrics.gauge(
+                "gossip.repair_cells_shipped",
+                self._fault_counter_total("repair_cells_shipped"),
+            )
+            self.metrics.gauge(
+                "gossip.handoff_cells_streamed",
+                self._fault_counter_total("handoff_cells_streamed"),
+            )
+        if self.config.overload.enabled:
+            self.metrics.gauge(
+                "cluster.requests_shed",
+                self._fault_counter_total("requests_shed"),
+            )
+            self.metrics.gauge("cluster.breakers_open", self._breakers_open)
+
+    def _breakers_open(self) -> float:
+        now = self.sim.now
+        open_count = 0
+        for node in self.nodes.values():
+            guard = getattr(node, "overload", None)
+            if guard is not None and guard.breaker_open(now):
+                open_count += 1
+        return float(open_count)
 
     def _fault_counter_total(self, name: str):
         """A gauge callable summing one counter across nodes + client."""
@@ -290,7 +380,7 @@ class DistributedSystem(ABC):
                 self.membership.declare_dead(coordinator)
                 self.fault_counters.increment("coordinators_declared_dead")
             if attempt + 1 < attempts:
-                backoff = faults.backoff_base * faults.backoff_multiplier**attempt
+                backoff = faults.backoff_delay(attempt, self._backoff_rng)
                 self.fault_counters.increment("client_retries")
                 yield self.sim.timeout(backoff)
         self.fault_counters.increment("client_gave_up")
@@ -323,10 +413,6 @@ class DistributedSystem(ABC):
         back-pressure from slow responses — the regime where queueing
         delay actually builds up.
         """
-        import numpy as np
-
-        from repro.errors import QueryError
-
         if rate <= 0:
             raise QueryError("arrival rate must be positive")
         self.start()

@@ -1,0 +1,51 @@
+"""Smoke test: the churn benchmark runs at unit scale, nothing hangs,
+and anti-entropy recovery beats the cold restart."""
+
+import pytest
+
+from repro.bench.churn import churn_recovery
+from repro.bench.harness import BenchScale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return churn_recovery(BenchScale.unit())
+
+
+class TestChurnRecovery:
+    def test_phases_present(self, result):
+        labels = result.row_labels()
+        for variant in ("repair", "cold"):
+            for phase in ("before", "during", "after-early", "after-late"):
+                assert f"{variant}:{phase}" in labels
+        assert "overload:burst" in labels
+
+    def test_no_hangs(self, result):
+        assert result.meta["repair_hung"] == 0
+        assert result.meta["cold_hung"] == 0
+
+    def test_churn_really_happened(self, result):
+        for variant in ("repair", "cold"):
+            assert result.meta[f"{variant}_failovers"] > 0
+            assert result.meta[f"{variant}_gossip_rounds"] > 0
+
+    def test_recovery_machinery_fired(self, result):
+        # The repair variant moved cells; the cold variant must not have.
+        moved = (
+            result.meta["repair_repair_promoted"]
+            + result.meta["repair_repair_shipped"]
+            + result.meta["repair_handoff_streamed"]
+        )
+        assert moved > 0
+        assert result.meta["cold_repair_promoted"] == 0
+        assert result.meta["cold_repair_shipped"] == 0
+        assert result.meta["cold_handoff_streamed"] == 0
+
+    def test_warm_recovery_beats_cold(self, result):
+        assert result.meta["warm_recovery_faster"]
+        assert result.meta["recovery_hit_rate_advantage"] > 0
+
+    def test_overload_burst_exercised(self, result):
+        assert result.meta["overload_requests_shed"] > 0
+        # Degradation under overload is explicit, never silent.
+        assert result.series["min_completeness"]["overload:burst"] >= 0.0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.dht.partitioner import ConsistentHashPartitioner, PrefixPartitioner
 from repro.errors import FaultError, StorageError
-from repro.faults.membership import RPC_FAILED, ClusterMembership
+from repro.faults.membership import RPC_FAILED, RPC_SHED, ClusterMembership, rpc_ok
 
 NODES = [f"node-{i}" for i in range(4)]
 HASHES = ["9q8y", "dr5r", "c2b2", "u4pr", "9z6m", "gcpv"]
@@ -14,12 +14,29 @@ def make_membership(partitioner_cls=PrefixPartitioner):
     return ClusterMembership(partitioner_cls(NODES, 2))
 
 
-class TestRpcFailed:
-    def test_sentinel_identity_and_truthiness(self):
-        # Truthy on purpose: callers must compare with ``is``, never rely
-        # on falsiness of a failed reply.
-        assert RPC_FAILED
+class TestRpcSentinels:
+    def test_truth_testing_raises(self):
+        # A failed reply must never be confused with an empty-but-valid
+        # one; truth-testing the sentinel is a bug and raises loudly.
+        with pytest.raises(TypeError, match="no truth value"):
+            bool(RPC_FAILED)
+        with pytest.raises(TypeError, match="no truth value"):
+            bool(RPC_SHED)
+        with pytest.raises(TypeError, match="no truth value"):
+            if RPC_FAILED:  # pragma: no cover - the test is the raise
+                pass
+
+    def test_repr_and_identity(self):
         assert repr(RPC_FAILED) == "RPC_FAILED"
+        assert repr(RPC_SHED) == "RPC_SHED"
+        assert RPC_FAILED is not RPC_SHED
+
+    def test_rpc_ok(self):
+        assert not rpc_ok(RPC_FAILED)
+        assert not rpc_ok(RPC_SHED)
+        assert rpc_ok({})
+        assert rpc_ok(None)
+        assert rpc_ok(0)
 
 
 class TestMembership:
@@ -74,6 +91,41 @@ class TestMembership:
     def test_revive_of_live_node_is_noop(self):
         membership = make_membership()
         assert not membership.revive("node-0")
+
+    def test_revive_with_another_node_still_dead(self):
+        # Regression: reviving one node while a second is still dead must
+        # rebuild the view from the *full* remaining dead set, not undo
+        # only the revived node's removal (order-dependent repair bug).
+        membership = make_membership()
+        membership.declare_dead("node-1")
+        membership.declare_dead("node-2")
+        assert membership.revive("node-1")
+        assert membership.dead_nodes() == ["node-2"]
+        expected = PrefixPartitioner(NODES, 2).without_node("node-2")
+        for code in HASHES:
+            assert membership.node_for(code) == expected.node_for(code)
+            assert membership.node_for(code) != "node-2"
+
+    def test_revive_order_independent(self):
+        # Kill A then B, revive in both orders: views must agree at every
+        # intermediate step with a membership that saw the same dead set.
+        base = PrefixPartitioner(NODES, 2)
+        first = make_membership()
+        second = make_membership()
+        for m in (first, second):
+            m.declare_dead("node-0")
+            m.declare_dead("node-3")
+        first.revive("node-0")
+        second.revive("node-3")
+        second.revive("node-0")
+        second.declare_dead("node-3")
+        for code in HASHES:
+            assert first.node_for(code) == second.node_for(code)
+        first.revive("node-3")
+        second.revive("node-3")
+        for code in HASHES:
+            assert first.node_for(code) == base.node_for(code)
+            assert second.node_for(code) == base.node_for(code)
 
     def test_consistent_hash_ring_repair_is_minimal(self):
         membership = make_membership(ConsistentHashPartitioner)
