@@ -94,8 +94,10 @@ def _phase_stats(result: ExperimentResult, phase: str, results: list) -> None:
             degraded += 1
             completeness_floor = min(completeness_floor, r.completeness)
     total = served + missed + unresolved
+    from repro.stats import percentile
+
     result.add("mean_latency_s", phase, float(np.mean([r.latency for r in results])))
-    result.add("p95_latency_s", phase, float(np.quantile([r.latency for r in results], 0.95)))
+    result.add("p95_latency_s", phase, percentile([r.latency for r in results], 95.0))
     result.add("hit_rate", phase, served / total if total else 0.0)
     result.add("degraded_answers", phase, float(degraded))
     result.add("min_completeness", phase, completeness_floor)

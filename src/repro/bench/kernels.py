@@ -151,14 +151,17 @@ def run_kernels(
     quick: bool = False,
 ) -> dict[str, Any]:
     """Time every kernel at every size; returns the JSON-ready report."""
+    from repro.bench.reporting import report_meta
+
     report: dict[str, Any] = {
-        "schema": "stash-bench-kernels/v1",
+        "schema": "stash-bench-kernels/v2",
         "quick": quick,
         "sizes": list(sizes),
         "repeats": repeats,
         "seed": seed,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "meta": report_meta(seed),
         "kernels": {},
     }
     kernels: dict[str, dict[str, Any]] = report["kernels"]

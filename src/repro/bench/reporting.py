@@ -7,13 +7,51 @@ Every benchmark writes its regenerated figure data to
 
 from __future__ import annotations
 
+import datetime
 import json
 import pathlib
+import platform
+import subprocess
+
+import numpy as np
 
 from repro.bench.harness import ExperimentResult
 
 #: Default output directory, relative to the repository root.
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+#: Meta keys that must match for two bench reports to be comparable.
+#: Wall-clock numbers from different interpreter/numpy builds are noise,
+#: not signal — the regression sentinel refuses to compare across them.
+ENV_META_KEYS = ("python", "numpy", "seed")
+
+
+def report_meta(seed: int) -> dict:
+    """Environment stamp for a committed bench report.
+
+    Identifies *where* and *from what* the numbers came: interpreter and
+    numpy versions (the two things that actually move wall-clock kernel
+    timings), the RNG seed, the git revision, and the wall-clock date.
+    """
+    try:
+        git_rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+            check=False,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        git_rev = "unknown"
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "seed": seed,
+        "git_rev": git_rev,
+        "date": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }
 
 
 def save_result(result: ExperimentResult, directory: pathlib.Path | None = None) -> pathlib.Path:

@@ -198,6 +198,54 @@ def _build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--output", default="BENCH_churn.json", help="report path ('-' to skip)"
     )
+    bc = be_sub.add_parser(
+        "check",
+        help="regression sentinel: fresh kernel run vs a committed baseline",
+    )
+    bc.add_argument(
+        "--baseline", default="BENCH_kernels.json", help="committed report to compare to"
+    )
+    bc.add_argument(
+        "--threshold", type=float, default=None,
+        help="fresh/baseline ratio that fails (default 1.5)",
+    )
+    bc.add_argument("--json", metavar="PATH", help="also dump the verdict as JSON")
+
+    ep = sub.add_parser(
+        "explain",
+        help="replay one query with the flight recorder on; print its waterfall",
+    )
+    ep.add_argument("--engine", choices=("stash", "basic", "elastic"), default="stash")
+    ep.add_argument(
+        "--workload", choices=("pan-cloud", "hotspot", "zipf"), default="pan-cloud"
+    )
+    ep.add_argument(
+        "--size", choices=("country", "state", "county", "city"), default="county"
+    )
+    ep.add_argument("--requests", type=int, default=20)
+    ep.add_argument("--records", type=int, default=50_000)
+    ep.add_argument("--days", type=int, default=3)
+    ep.add_argument("--nodes", type=int, default=16)
+    ep.add_argument("--seed", type=int, default=42)
+    ep.add_argument(
+        "--query", type=int, default=-1,
+        help="workload index to explain (default: the slowest query)",
+    )
+    ep.add_argument(
+        "--trace-out", metavar="PATH",
+        help="also export the full run as a Chrome/Perfetto trace",
+    )
+
+    sl = sub.add_parser(
+        "slo",
+        help="run a session gesture mix; report per-class latency SLOs",
+    )
+    sl.add_argument("--engine", choices=("stash", "basic", "elastic"), default="stash")
+    sl.add_argument("--requests", type=int, default=60)
+    sl.add_argument("--seed", type=int, default=42)
+    sl.add_argument(
+        "--output", default="BENCH_slo.json", help="report path ('-' to skip)"
+    )
 
     cf = sub.add_parser(
         "conform",
@@ -423,14 +471,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     # replay
     queries = load_trace(args.path)
     from repro.config import ObservabilityConfig
+    from repro.stats import percentile
 
     system = _build_workload_system(args, ObservabilityConfig())
     results = replay_trace(system, queries, concurrent=args.concurrent)
-    latencies = sorted(r.latency for r in results)
+    latencies = [r.latency for r in results]
     total = system.timeline.total_duration()
     print(f"replayed {len(results)} queries on {args.engine}")
     print(f"  mean latency: {sum(latencies) / len(latencies) * 1e3:9.3f} ms")
-    print(f"  p95 latency:  {latencies[int(0.95 * (len(latencies) - 1))] * 1e3:9.3f} ms")
+    print(f"  p95 latency:  {percentile(latencies, 95.0) * 1e3:9.3f} ms")
     print(f"  makespan:     {total * 1e3:9.3f} ms "
           f"({len(results) / total:,.0f} queries/s)")
     return 0
@@ -484,13 +533,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     system.drain()
+    from repro.stats import percentile
+
     degraded = [r for r in results if r.degraded]
-    latencies = sorted(r.latency for r in results)
+    latencies = [r.latency for r in results]
     print(f"ran {len(results)}/{len(queries)} queries on {args.engine} "
           f"under {len(schedule)} fault events")
     print(f"  mean latency:     {sum(latencies) / len(latencies) * 1e3:9.3f} ms")
-    print(f"  p95 latency:      "
-          f"{latencies[int(0.95 * (len(latencies) - 1))] * 1e3:9.3f} ms")
+    print(f"  p95 latency:      {percentile(latencies, 95.0) * 1e3:9.3f} ms")
     print(f"  degraded answers: {len(degraded)}")
     if degraded:
         print(f"  min completeness: {min(r.completeness for r in degraded):.3f}")
@@ -502,9 +552,111 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.config import ObservabilityConfig
+    from repro.obs import explain_result, write_chrome_trace
+    from repro.workload.trace import replay_trace
+
+    queries = _generate_workload(args.workload, args.size, args.requests, args.seed)
+    system = _build_workload_system(
+        args, ObservabilityConfig(trace=True, flight_recorder=True)
+    )
+    results = replay_trace(system, queries)
+    system.drain()
+    if not results:
+        print("error: workload produced no results", file=sys.stderr)
+        return 2
+    if args.query >= 0:
+        if args.query >= len(results):
+            print(
+                f"error: --query {args.query} out of range "
+                f"(ran {len(results)} queries)",
+                file=sys.stderr,
+            )
+            return 2
+        picked = results[args.query]
+    else:
+        picked = max(results, key=lambda r: r.latency)
+    print(explain_result(system, picked))
+    if args.trace_out:
+        try:
+            write_chrome_trace(system.tracer, args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write {args.trace_out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nwrote Chrome trace of the full run to {args.trace_out}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.bench.slo import format_slo_report, run_slo, write_slo_report
+
+    if args.requests <= 0:
+        print(f"error: --requests must be positive, got {args.requests}",
+              file=sys.stderr)
+        return 2
+    scale = BenchScale.unit().with_(seed=args.seed)
+    report = run_slo(engine=args.engine, scale=scale, requests=args.requests)
+    print(format_slo_report(report))
+    if args.output != "-":
+        try:
+            write_slo_report(report, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote report to {args.output}")
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.kernels import run_kernels
+    from repro.bench.regression import (
+        DEFAULT_THRESHOLD,
+        compare_reports,
+        format_check,
+    )
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    # Re-run with the baseline's own configuration so every metric
+    # lines up; run twice to measure this machine's re-run variance.
+    sizes = tuple(baseline.get("sizes", ()))
+    repeats = int(baseline.get("repeats", 5))
+    seed = int(baseline.get("seed", 42))
+    quick = bool(baseline.get("quick", False))
+    if not sizes:
+        print(f"error: baseline {args.baseline} has no sizes", file=sys.stderr)
+        return 2
+    fresh = run_kernels(sizes=sizes, repeats=repeats, seed=seed, quick=quick)
+    rerun = run_kernels(sizes=sizes, repeats=repeats, seed=seed, quick=quick)
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    verdict = compare_reports(baseline, fresh, rerun=rerun, threshold=threshold)
+    print(format_check(verdict))
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(verdict, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote verdict to {args.json}")
+    if verdict["status"] == "env-mismatch":
+        return 2
+    return 1 if verdict["status"] == "regression" else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.bench_command == "churn":
         return _cmd_bench_churn(args)
+    if args.bench_command == "check":
+        return _cmd_bench_check(args)
     from repro.bench.kernels import (
         DEFAULT_SIZES,
         QUICK_SIZES,
@@ -657,6 +809,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_faults(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "slo":
+        return _cmd_slo(args)
     if args.command == "conform":
         return _cmd_conform(args)
     if args.command == "metrics":

@@ -100,11 +100,12 @@ class ExplorationSession:
 
     # -- current query -------------------------------------------------------
 
-    def current_query(self) -> AggregationQuery:
+    def current_query(self, kind: str = "other") -> AggregationQuery:
         return AggregationQuery(
             bbox=self.viewport,
             time_range=self.day.epoch_range(),
             resolution=self.resolution,
+            kind=kind,
         )
 
     # -- gestures ----------------------------------------------------------
@@ -123,7 +124,7 @@ class ExplorationSession:
             dlat_sign * fraction * self.viewport.height,
             dlon_sign * fraction * self.viewport.width,
         )
-        result = self._execute(self.current_query())
+        result = self._execute(self.current_query(kind="pan"))
         self._maybe_prefetch((dlat_sign, dlon_sign), fraction)
         self._last_pan = (dlat_sign, dlon_sign)
         return result
@@ -131,7 +132,7 @@ class ExplorationSession:
     def dice(self, area_factor: float) -> QueryResult:
         """Shrink/grow the selection area about its center."""
         self.viewport = self.viewport.scaled(area_factor)
-        return self._execute(self.current_query())
+        return self._execute(self.current_query(kind="zoom"))
 
     def drill_down(self) -> QueryResult:
         """One step finer spatial resolution (zoom in)."""
@@ -139,7 +140,7 @@ class ExplorationSession:
         if finer is None:
             raise QueryError("already at the finest spatial resolution")
         self.resolution = finer
-        return self._execute(self.current_query())
+        return self._execute(self.current_query(kind="drill"))
 
     def roll_up(self) -> QueryResult:
         """One step coarser spatial resolution (zoom out)."""
@@ -147,7 +148,7 @@ class ExplorationSession:
         if coarser is None:
             raise QueryError("already at the coarsest spatial resolution")
         self.resolution = coarser
-        return self._execute(self.current_query())
+        return self._execute(self.current_query(kind="drill"))
 
     def drill_time(self) -> QueryResult:
         """One step finer temporal resolution (e.g. day bins -> hour bins).
@@ -160,7 +161,7 @@ class ExplorationSession:
         if finer is None:
             raise QueryError("already at the finest temporal resolution")
         self.resolution = finer
-        return self._execute(self.current_query())
+        return self._execute(self.current_query(kind="drill"))
 
     def roll_time(self) -> QueryResult:
         """One step coarser temporal resolution (e.g. day -> month bins)."""
@@ -168,7 +169,7 @@ class ExplorationSession:
         if coarser is None:
             raise QueryError("already at the coarsest temporal resolution")
         self.resolution = coarser
-        return self._execute(self.current_query())
+        return self._execute(self.current_query(kind="drill"))
 
     def slice_day(self, day: TimeKey) -> QueryResult:
         """Jump to a different temporal slice."""

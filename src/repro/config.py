@@ -174,6 +174,17 @@ class ObservabilityConfig:
     #: Hard cap on retained spans; beyond it new spans are dropped and
     #: the tracer is marked truncated.
     max_spans: int = 2_000_000
+    #: Enable the query flight recorder: per-query trace contexts carried
+    #: through every RPC/retry/redirect leg, mergeable latency histograms
+    #: (per query class, per node, cluster-wide), and outcome/SLO
+    #: accounting.  Passive like tracing: results are byte-identical
+    #: either way.
+    flight_recorder: bool = False
+    #: Latency SLO targets as ``(query_class, percentile, seconds)``
+    #: triples, e.g. ``(("pan", 95.0, 0.1), ("*", 99.0, 1.0))``.  Class
+    #: ``"*"`` applies to every query.  Checked by the flight recorder;
+    #: violations increment the ``slo_violations`` counter.
+    slo_targets: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -180,17 +180,25 @@ class StashCluster(DistributedSystem):
         root = self.tracer.begin(
             "query:cells", "compute", node=CLIENT_ID, query_id=query.query_id
         )
+        ctx = self.recorder.context(query.query_id)
         reply = yield self.network.request(
             CLIENT_ID,
             coordinator,
             "evaluate_cells",
-            {"query": query, "cells": keys},
+            {"query": query, "cells": keys, "ctx": ctx},
             size=256 + 32 * len(keys),
             parent=root,
         )
         latency = self.sim.now - started
         self.latencies.record(latency)
         self.timeline.record_completion(self.sim.now)
+        self.recorder.record_query(
+            kind=query.kind,
+            coordinator=coordinator,
+            latency=latency,
+            completeness=float(reply.get("completeness", 1.0)),
+            ctx=ctx,
+        )
         attribution = None
         if root is not None:
             self.tracer.end(root)

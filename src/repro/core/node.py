@@ -29,8 +29,9 @@ from repro.core.planner import plan_query
 from repro.data.block import BlockId
 from repro.data.statistics import SummaryVector
 from repro.dht.partitioner import Partitioner
-from repro.faults.membership import rpc_ok
+from repro.faults.membership import RPC_SHED, rpc_ok
 from repro.geo.resolution import ResolutionSpace
+from repro.obs.recorder import QueryContext
 from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
 from repro.replication.antipode import antipode_candidates
@@ -358,8 +359,11 @@ class StashNode(StorageNode):
             # Replica incomplete (e.g. purged between routing and arrival):
             # fall back to a normal evaluation from here.
             self.counters.increment("guest_fallbacks")
+            self.recorder.record_event(
+                "guest_fallback", message.payload.get("ctx"), node=self.node_id
+            )
             response = yield from self._evaluate_core(
-                query, footprint, parent=message.span
+                query, footprint, parent=message.span, ctx=message.payload.get("ctx")
             )
             response["provenance"]["rerouted"] = 1
             self.network.respond(
@@ -680,6 +684,7 @@ class StashNode(StorageNode):
 
     def _handle_evaluate(self, message: Message) -> Generator[Event, Any, None]:
         query: AggregationQuery = message.payload["query"]
+        ctx: QueryContext | None = message.payload.get("ctx")
         footprint = query.footprint()
         if self.config.enable_replication:
             # Routing-table check before full request processing: a
@@ -693,11 +698,17 @@ class StashNode(StorageNode):
             if helper is not None:
                 yield self.sim.timeout(self.cost.cell_lookup_cost)
                 self.counters.increment("queries_rerouted")
+                self.recorder.record_event(
+                    "rerouted_to_replica",
+                    ctx,
+                    node=self.node_id,
+                    detail={"helper": helper},
+                )
                 self.network.send(
                     self.node_id,
                     helper,
                     "evaluate_guest",
-                    {"query": query},
+                    {"query": query, "ctx": ctx},
                     size=512,
                     reply_to=message.reply_to,
                     parent=message.span,
@@ -705,7 +716,7 @@ class StashNode(StorageNode):
                 return
         yield self.sim.timeout(self.cost.request_overhead)
         response = yield from self._evaluate_core(
-            query, footprint, parent=message.span
+            query, footprint, parent=message.span, ctx=ctx
         )
         self.network.respond(
             message,
@@ -723,7 +734,9 @@ class StashNode(StorageNode):
         yield self.sim.timeout(self.cost.request_overhead)
         query: AggregationQuery = message.payload["query"]
         keys: list[CellKey] = message.payload["cells"]
-        response = yield from self._evaluate_core(query, keys, parent=message.span)
+        response = yield from self._evaluate_core(
+            query, keys, parent=message.span, ctx=message.payload.get("ctx")
+        )
         self.counters.increment("partial_evaluations")
         self.network.respond(
             message,
@@ -736,6 +749,7 @@ class StashNode(StorageNode):
         query: AggregationQuery,
         footprint: list[CellKey],
         parent: Span | None = None,
+        ctx: QueryContext | None = None,
     ) -> Generator[Event, Any, dict[str, Any]]:
         """Footprint -> owners -> cache plan -> scans -> populate.
 
@@ -752,10 +766,12 @@ class StashNode(StorageNode):
         events = []
         legs: list[str] = []
         for owner in sorted(cells_by_owner):
+            leg_ctx = None if ctx is None else ctx.with_(leg=owner)
             payload = {
                 "query": query,
                 "cells": cells_by_owner[owner],
                 "ring": ring_by_owner.get(owner, []),
+                "ctx": leg_ctx,
             }
             legs.append(owner)
             if self._gossip is not None:
@@ -776,6 +792,7 @@ class StashNode(StorageNode):
                         payload,
                         size=len(payload["cells"]) * 32,
                         parent=parent,
+                        ctx=leg_ctx,
                     )
                 )
         responses = yield self.sim.all_of(events)
@@ -788,6 +805,12 @@ class StashNode(StorageNode):
                 # Owner unreachable (or shedding): treat its whole key
                 # share as cache misses and try the disk path instead.
                 self.counters.increment("fetch_legs_failed")
+                self.recorder.record_event(
+                    "fetch_leg_shed" if response is RPC_SHED else "fetch_leg_failed",
+                    None if ctx is None else ctx.with_(leg=owner),
+                    node=self.node_id,
+                    detail={"owner": owner, "cells": len(cells_by_owner[owner])},
+                )
                 missing.extend(cells_by_owner[owner])
                 continue
             found.update(response["found"])
@@ -812,10 +835,16 @@ class StashNode(StorageNode):
             # us.  The holes are reported unresolved (completeness < 1),
             # never fabricated, and degraded answers are never cached.
             self.counters.increment("breaker_degraded")
+            self.recorder.record_event(
+                "breaker_degraded",
+                ctx,
+                node=self.node_id,
+                detail={"missing": len(missing)},
+            )
             unresolved = missing
         elif missing:
             new_cells, unresolved = yield from self._resolve_missing(
-                query, missing, provenance, parent=parent
+                query, missing, provenance, parent=parent, ctx=ctx
             )
             found.update(new_cells)
 
@@ -829,6 +858,15 @@ class StashNode(StorageNode):
             self.counters.increment("degraded_answers")
             provenance["cells_unresolved"] = len(unresolved)
             completeness = 1.0 - len(unresolved) / max(1, len(footprint))
+            self.recorder.record_event(
+                "cells_unresolved",
+                ctx,
+                node=self.node_id,
+                detail={
+                    "count": len(unresolved),
+                    "completeness": completeness,
+                },
+            )
         return {
             "cells": cells,
             "provenance": provenance,
@@ -854,6 +892,7 @@ class StashNode(StorageNode):
         """
         gossip = self._gossip
         assert gossip is not None
+        ctx: QueryContext | None = payload.get("ctx")
         if owner == self.node_id:
             response = yield self.sim.process(
                 self._fetch_cells_impl(payload, parent=parent)
@@ -861,16 +900,29 @@ class StashNode(StorageNode):
             return response
         if depth >= gossip.max_redirects:
             payload = dict(payload, force=True)
+            self.recorder.record_event(
+                "force_serve",
+                ctx,
+                node=self.node_id,
+                detail={"owner": owner, "depth": depth},
+            )
         reply = yield self.request_resilient(
             owner,
             "fetch_cells",
             payload,
             size=len(payload["cells"]) * 32,
             parent=parent,
+            ctx=ctx,
         )
         if not rpc_ok(reply) or "not_owner" not in reply:
             return reply
         self.counters.increment("fetch_redirects")
+        self.recorder.record_event(
+            "redirect",
+            ctx,
+            node=self.node_id,
+            detail={"from": owner, "depth": depth},
+        )
         self.membership.merge(reply["not_owner"], self.sim.now)
         owner_memo: dict[str, str] = {}
         cells_by_owner = self._group_by_owner(payload["cells"], owner_memo)
@@ -887,6 +939,9 @@ class StashNode(StorageNode):
                             "query": payload["query"],
                             "cells": cells_by_owner[sub],
                             "ring": ring_by_owner.get(sub, []),
+                            "ctx": None
+                            if ctx is None
+                            else ctx.with_(leg=sub, redirect_depth=depth + 1),
                         },
                         parent,
                         depth + 1,
@@ -903,6 +958,14 @@ class StashNode(StorageNode):
         for sub, response in zip(sub_owners, subs):
             if not rpc_ok(response):
                 self.counters.increment("fetch_legs_failed")
+                self.recorder.record_event(
+                    "fetch_leg_shed" if response is RPC_SHED else "fetch_leg_failed",
+                    None
+                    if ctx is None
+                    else ctx.with_(leg=sub, redirect_depth=depth + 1),
+                    node=self.node_id,
+                    detail={"owner": sub, "cells": len(cells_by_owner[sub])},
+                )
                 combined["missing"].extend(cells_by_owner[sub])
                 continue
             combined["found"].update(response["found"])
@@ -917,6 +980,7 @@ class StashNode(StorageNode):
         missing: list[CellKey],
         provenance: dict[str, int],
         parent: Span | None = None,
+        ctx: QueryContext | None = None,
     ) -> Generator[
         Event, Any, tuple[dict[CellKey, SummaryVector], list[CellKey]]
     ]:
@@ -956,9 +1020,10 @@ class StashNode(StorageNode):
                     self.request_resilient(
                         node_id,
                         "scan",
-                        {"query": query, "block_ids": ids},
+                        {"query": query, "block_ids": ids, "ctx": ctx},
                         size=1_024,
                         parent=parent,
+                        ctx=None if ctx is None else ctx.with_(leg=node_id),
                     )
                 )
         partials = (yield self.sim.all_of(events)) if events else []
@@ -972,6 +1037,12 @@ class StashNode(StorageNode):
                 # an overloaded node sheds the scan outright.  Either
                 # way, every cell depending on them is degraded.
                 self.counters.increment("scan_legs_failed")
+                self.recorder.record_event(
+                    "scan_leg_shed" if cells is RPC_SHED else "scan_leg_failed",
+                    None if ctx is None else ctx.with_(leg=node_id),
+                    node=self.node_id,
+                    detail={"owner": node_id, "blocks": len(ids)},
+                )
                 unread_blocks.update(ids)
                 continue
             for key, vec in cells.items():

@@ -1,0 +1,186 @@
+"""Leg-by-leg query waterfalls: "why was this query slow / partial?".
+
+Combines the three per-query records the obs layer keeps — the span tree
+(:mod:`repro.obs.tracer`), the critical-path attribution
+(:mod:`repro.obs.critical_path`), and the flight-recorder event stream
+(:mod:`repro.obs.recorder`) — into one human-readable explanation:
+
+* a summary line (class, latency, completeness, outcome);
+* the critical-path category split;
+* cache provenance (hits / roll-ups / disk);
+* every recorded incident on the query's path (timeouts, sheds,
+  redirects, breaker opens), keyed to attempt and leg;
+* a waterfall of the span tree with per-span gantt bars.
+
+Everything here renders already-recorded state; nothing touches the
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.critical_path import attribute_span
+from repro.obs.recorder import OutcomeEvent
+from repro.obs.tracer import Span
+
+#: Events that explain *why* an answer came back partial, in the order
+#: we prefer to cite them as the cause.
+_DEGRADATION_EVENTS = (
+    "breaker_degraded",
+    "scan_leg_failed",
+    "scan_leg_shed",
+    "fetch_leg_failed",
+    "fetch_leg_shed",
+    "cells_unresolved",
+    "client_gave_up",
+)
+
+
+def span_rows(root: Span, max_rows: int = 200) -> list[tuple[int, Span]]:
+    """(depth, span) rows of the tree, depth-first, capped at ``max_rows``."""
+    rows: list[tuple[int, Span]] = []
+
+    def visit(span: Span, depth: int) -> None:
+        if len(rows) >= max_rows:
+            return
+        rows.append((depth, span))
+        for child in span.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return rows
+
+
+def _gantt(span: Span, root: Span, width: int) -> str:
+    """A fixed-width bar showing the span's interval within the root's."""
+    total = root.duration
+    if total <= 0.0 or span.end is None:
+        return " " * width
+    lo = max(0.0, (span.start - root.start) / total)
+    hi = min(1.0, (span.end - root.start) / total)
+    start = min(width - 1, int(lo * width))
+    length = max(1, int(round((hi - lo) * width)))
+    length = min(length, width - start)
+    return " " * start + "#" * length + " " * (width - start - length)
+
+
+def degradation_cause(
+    events: Iterable[OutcomeEvent], completeness: float
+) -> str | None:
+    """The most specific recorded reason the answer is partial."""
+    if completeness >= 1.0:
+        return None
+    by_name: dict[str, OutcomeEvent] = {}
+    for event in events:
+        by_name.setdefault(event.name, event)
+    for name in _DEGRADATION_EVENTS:
+        event = by_name.get(name)
+        if event is not None:
+            where = f" at {event.node}" if event.node else ""
+            leg = f" (leg {event.leg})" if event.leg else ""
+            return f"{name}{where}{leg}"
+    return "unrecorded (recorder off or event cap hit)"
+
+
+def format_events(events: list[OutcomeEvent], t0: float) -> list[str]:
+    lines = []
+    for event in events:
+        detail = event.to_dict()
+        for drop in ("name", "at", "node", "query_id", "attempt",
+                     "leg", "redirect_depth"):
+            detail.pop(drop, None)
+        extras = " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+        leg = f" leg={event.leg}" if event.leg else ""
+        depth = f" depth={event.redirect_depth}" if event.redirect_depth else ""
+        lines.append(
+            f"  +{(event.at - t0) * 1e3:9.3f} ms  {event.name:<24} "
+            f"node={event.node} attempt={event.attempt}{leg}{depth}"
+            + (f"  {extras}" if extras else "")
+        )
+    return lines
+
+
+def format_waterfall(
+    root: Span,
+    *,
+    kind: str = "other",
+    completeness: float = 1.0,
+    provenance: dict | None = None,
+    events: list[OutcomeEvent] | None = None,
+    bar_width: int = 24,
+    max_rows: int = 120,
+) -> str:
+    """Render one query's full explanation from its root span."""
+    events = events or []
+    out: list[str] = []
+    latency = root.duration
+    if completeness >= 1.0:
+        outcome = "ok"
+    else:
+        outcome = "degraded"
+    out.append(
+        f"query {root.query_id} ({kind}): {latency * 1e3:.3f} ms, "
+        f"completeness {completeness:.3f}, outcome {outcome}"
+    )
+    attribution = attribute_span(root)
+    parts = [
+        f"{category} {seconds * 1e3:.3f} ms"
+        f" ({seconds / latency:.0%})" if latency > 0 else f"{category} 0 ms"
+        for category, seconds in sorted(
+            attribution.items(), key=lambda kv: -kv[1]
+        )
+        if seconds > 0
+    ]
+    if parts:
+        out.append("critical path:  " + "  ·  ".join(parts))
+    if provenance:
+        out.append(
+            "provenance:     "
+            + "  ".join(f"{k}={v}" for k, v in sorted(provenance.items()))
+        )
+    cause = degradation_cause(events, completeness)
+    if cause is not None:
+        out.append(f"degraded by:    {cause}")
+    if events:
+        out.append(f"flight events ({len(events)}):")
+        out.extend(format_events(events, root.start))
+    out.append("waterfall (offsets from query start):")
+    rows = span_rows(root, max_rows=max_rows)
+    for depth, span in rows:
+        offset = (span.start - root.start) * 1e3
+        duration = "   open  " if span.end is None else f"{span.duration * 1e3:8.3f}"
+        indent = "| " * depth
+        out.append(
+            f"  +{offset:9.3f} ms  [{_gantt(span, root, bar_width)}] "
+            f"{duration} ms  {indent}{span.name}"
+            f"  ({span.category}, {span.node})"
+        )
+    total_spans = sum(1 for _ in root.walk())
+    if total_spans > len(rows):
+        out.append(f"  ... {total_spans - len(rows)} more spans (row cap)")
+    return "\n".join(out)
+
+
+def explain_result(system, result) -> str:
+    """Explain one already-executed query of a traced system.
+
+    ``result`` is the :class:`~repro.query.model.QueryResult` the system
+    returned for the query.  Requires the run to have had
+    ``observability.trace`` on (for the span tree); the flight recorder
+    enriches the output when it was on too.
+    """
+    query_id = result.query.query_id
+    roots = system.tracer.query_roots(query_id)
+    if not roots:
+        raise ValueError(
+            f"no traced root span for query {query_id}; "
+            "was observability.trace enabled?"
+        )
+    return format_waterfall(
+        roots[-1],
+        kind=result.query.kind,
+        completeness=result.completeness,
+        provenance=result.provenance,
+        events=system.recorder.events_for(query_id),
+    )

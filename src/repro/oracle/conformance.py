@@ -35,6 +35,7 @@ from repro.config import (
     EvictionConfig,
     FaultConfig,
     GossipConfig,
+    ObservabilityConfig,
     OverloadConfig,
     ReplicationConfig,
     StashConfig,
@@ -282,8 +283,14 @@ def exploration_workload(
 
 def _base_config() -> StashConfig:
     """Conformance cluster shape: small enough to simulate hundreds of
-    queries quickly, with both replication and roll-up exercised."""
-    return DEFAULT_CONFIG.with_(cluster=ClusterConfig(num_nodes=8))
+    queries quickly, with both replication and roll-up exercised.  The
+    flight recorder is ON so every conformance campaign doubles as a
+    recorder-passivity check: if recording ever perturbed an answer,
+    the oracle comparison would catch it."""
+    return DEFAULT_CONFIG.with_(
+        cluster=ClusterConfig(num_nodes=8),
+        observability=ObservabilityConfig(flight_recorder=True),
+    )
 
 
 def _run_serial(cluster: StashCluster, queries: list[AggregationQuery]):

@@ -55,6 +55,11 @@ class AggregationQuery:
     #: centers fall inside it.  ``bbox`` must enclose the polygon — use
     #: :meth:`for_polygon` to construct these consistently.
     polygon: "object | None" = None
+    #: Workload class of the gesture that produced this query ("pan",
+    #: "zoom", "drill", or "other") — the grouping key for per-class
+    #: latency histograms and SLO targets.  Excluded from equality so a
+    #: tagged query answers identically to an untagged twin.
+    kind: str = field(default="other", compare=False)
     query_id: int = field(default_factory=lambda: next(_query_ids))
     #: Memoized :meth:`footprint` result.  A query object crosses several
     #: evaluation sites (client session, coordinator, guest helper) that
@@ -168,6 +173,7 @@ class AggregationQuery:
             resolution=self.resolution,
             attributes=self.attributes,
             polygon=None if self.polygon is None else self.polygon.translated(dlat, dlon),
+            kind="pan",
         )
 
     def diced(self, area_factor: float) -> "AggregationQuery":
@@ -178,6 +184,7 @@ class AggregationQuery:
             resolution=self.resolution,
             attributes=self.attributes,
             polygon=None if self.polygon is None else self.polygon.scaled(area_factor),
+            kind="zoom",
         )
 
     def at_resolution(self, resolution: Resolution) -> "AggregationQuery":
@@ -188,6 +195,7 @@ class AggregationQuery:
             resolution=resolution,
             attributes=self.attributes,
             polygon=self.polygon,
+            kind="drill",
         )
 
     def clone(self) -> "AggregationQuery":
@@ -204,6 +212,7 @@ class AggregationQuery:
             resolution=self.resolution,
             attributes=self.attributes,
             polygon=self.polygon,
+            kind=self.kind,
         )
 
     # -- partitions (conformance harness + divergence shrinking) -----------

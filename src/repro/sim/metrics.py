@@ -41,7 +41,9 @@ class LatencyCollector:
     def percentile(self, q: float) -> float:
         if not self._values:
             raise SimulationError("no latencies recorded")
-        return float(np.percentile(self._values, q))
+        from repro.stats import percentile
+
+        return percentile(self._values, q)
 
     def summary(self) -> dict[str, float]:
         return {

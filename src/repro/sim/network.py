@@ -17,6 +17,7 @@ from typing import Any
 
 from repro.config import CostModel
 from repro.errors import NetworkError
+from repro.obs.recorder import FlightRecorder
 from repro.obs.tracer import Span, Tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Store
@@ -45,10 +46,22 @@ class Message:
 class Network:
     """The cluster fabric: registry of node inboxes + cost accounting."""
 
-    def __init__(self, sim: Simulator, cost: CostModel, tracer: Tracer | None = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        cost: CostModel,
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
+    ):
         self.sim = sim
         self.cost = cost
         self.tracer = tracer if tracer is not None else Tracer(sim, enabled=False)
+        #: The query flight recorder; like the tracer it rides on the
+        #: network object because that is the one handle every node
+        #: already holds.  Disabled by default.
+        self.recorder = (
+            recorder if recorder is not None else FlightRecorder(sim, enabled=False)
+        )
         self._inboxes: dict[str, Store] = {}
         self._ids = itertools.count()
         #: Totals for reporting.

@@ -22,6 +22,7 @@ from repro.errors import StorageError
 from repro.faults.gossip import GossipMembership
 from repro.faults.membership import RPC_FAILED, RPC_SHED, ClusterMembership
 from repro.faults.overload import OverloadGuard
+from repro.obs.recorder import QueryContext
 from repro.obs.tracer import Span
 from repro.query.model import AggregationQuery
 from repro.sim.disk import Disk
@@ -70,6 +71,7 @@ class StorageNode:
         )
         self.inbox = network.register(node_id)
         self.tracer = network.tracer
+        self.recorder = network.recorder
         self.disk = Disk(sim, self.cost, node_id, tracer=network.tracer)
         self.counters = CounterSet()
         self._coord_queue = Store(sim, name=f"coord:{node_id}")
@@ -140,6 +142,13 @@ class StorageNode:
         self.overload.record_shed(self.sim.now)
         self.counters.increment("requests_shed")
         self.counters.increment(f"shed:{message.kind}")
+        if self.recorder.enabled and isinstance(message.payload, dict):
+            self.recorder.record_event(
+                f"shed:{message.kind}",
+                message.payload.get("ctx"),
+                node=self.node_id,
+                detail={"from": message.sender},
+            )
         if message.reply_to is not None:
             self.network.respond(message, RPC_SHED, size=16)
 
@@ -213,6 +222,7 @@ class StorageNode:
         payload: Any,
         size: int = 0,
         parent: Span | None = None,
+        ctx: QueryContext | None = None,
     ) -> Event:
         """An RPC that cannot hang the caller.
 
@@ -232,7 +242,7 @@ class StorageNode:
                 self.node_id, recipient, kind, payload, size=size, parent=parent
             )
         return self.sim.process(
-            self._request_with_retry(recipient, kind, payload, size, parent)
+            self._request_with_retry(recipient, kind, payload, size, parent, ctx)
         )
 
     def _request_with_retry(
@@ -242,6 +252,7 @@ class StorageNode:
         payload: Any,
         size: int,
         parent: Span | None,
+        ctx: QueryContext | None = None,
     ) -> Generator[Event, Any, Any]:
         faults = self.config.faults
         membership = self.membership
@@ -252,6 +263,12 @@ class StorageNode:
                 # Someone already declared the peer dead: fail fast so
                 # the caller reroutes instead of burning timeouts.
                 self.counters.increment("rpc_failfast")
+                self.recorder.record_event(
+                    "rpc_failfast",
+                    ctx,
+                    node=self.node_id,
+                    detail={"to": recipient, "kind": kind},
+                )
                 return RPC_FAILED
             started = self.sim.now
             reply = self.network.request(
@@ -263,6 +280,12 @@ class StorageNode:
             if index == 0:
                 return value
             self.counters.increment("rpc_timeouts")
+            self.recorder.record_event(
+                "rpc_timeout",
+                ctx,
+                node=self.node_id,
+                detail={"to": recipient, "kind": kind, "attempt": attempt},
+            )
             if self.tracer.enabled:
                 self.tracer.record(
                     f"timeout:{kind}",
@@ -276,6 +299,12 @@ class StorageNode:
             if attempt + 1 < attempts:
                 backoff = faults.backoff_delay(attempt, self._backoff_rng)
                 self.counters.increment("rpc_retries")
+                self.recorder.record_event(
+                    "rpc_retry",
+                    ctx,
+                    node=self.node_id,
+                    detail={"to": recipient, "kind": kind, "attempt": attempt + 1},
+                )
                 if self.tracer.enabled:
                     self.tracer.record(
                         f"retry:{kind}",
@@ -290,6 +319,12 @@ class StorageNode:
         if membership.is_live(recipient) and len(membership.live_nodes()) > 1:
             membership.declare_dead(recipient)
             self.counters.increment("peers_declared_dead")
+            self.recorder.record_event(
+                "peer_declared_dead",
+                ctx,
+                node=self.node_id,
+                detail={"peer": recipient, "kind": kind},
+            )
             if self.tracer.enabled:
                 self.tracer.record(
                     f"failover:{recipient}",
@@ -300,6 +335,12 @@ class StorageNode:
                     node=self.node_id,
                     attrs={"kind": kind},
                 )
+        self.recorder.record_event(
+            "rpc_failed",
+            ctx,
+            node=self.node_id,
+            detail={"to": recipient, "kind": kind},
+        )
         return RPC_FAILED
 
     # -- introspection ---------------------------------------------------------

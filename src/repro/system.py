@@ -29,6 +29,7 @@ from repro.faults.gossip import (
 )
 from repro.faults.membership import ClusterMembership
 from repro.obs.critical_path import attribute_span
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.query.model import PROVENANCE_KEYS, AggregationQuery, QueryResult
@@ -88,7 +89,12 @@ class DistributedSystem(ABC):
         self.attribute_names = dataset.attribute_names
         obs = config.observability
         self.tracer = Tracer(self.sim, enabled=obs.trace, max_spans=obs.max_spans)
-        self.network = Network(self.sim, config.cost, tracer=self.tracer)
+        self.recorder = FlightRecorder(
+            self.sim, enabled=obs.flight_recorder, slo_targets=obs.slo_targets
+        )
+        self.network = Network(
+            self.sim, config.cost, tracer=self.tracer, recorder=self.recorder
+        )
         self.network.register(CLIENT_ID)
         self.latencies = LatencyCollector()
         self.timeline = ThroughputTimeline()
@@ -224,6 +230,17 @@ class DistributedSystem(ABC):
                 self._fault_counter_total("requests_shed"),
             )
             self.metrics.gauge("cluster.breakers_open", self._breakers_open)
+        if self.recorder.enabled:
+            self.metrics.gauge(
+                "recorder.queries", lambda: float(self.recorder.queries)
+            )
+            self.metrics.gauge(
+                "recorder.slo_violations",
+                lambda: float(self.recorder.slo_violations),
+            )
+            self.metrics.gauge(
+                "recorder.events", lambda: float(len(self.recorder.events))
+            )
 
     def _breakers_open(self) -> float:
         now = self.sim.now
@@ -293,20 +310,27 @@ class DistributedSystem(ABC):
         root = self.tracer.begin(
             "query", "compute", node=CLIENT_ID, query_id=query.query_id
         )
+        ctx = self.recorder.context(query.query_id)
         if self.config.faults.active:
-            reply = yield from self._evaluate_with_retry(query, root)
+            reply, ctx, coordinator = yield from self._evaluate_with_retry(
+                query, root, ctx
+            )
         else:
+            # coordinator_for is a pure routing lookup (no events, no
+            # randomness), so hoisting it for the recorder is free.
+            coordinator = self.coordinator_for(query)
             reply = yield self.network.request(
                 CLIENT_ID,
-                self.coordinator_for(query),
+                coordinator,
                 "evaluate",
-                {"query": query},
+                {"query": query, "ctx": ctx},
                 size=512,
                 parent=root,
             )
         latency = self.sim.now - started
         self.latencies.record(latency)
         self.timeline.record_completion(self.sim.now)
+        failed = reply is None
         if reply is None:
             # Every coordinator attempt failed: an explicit empty answer
             # (completeness 0) beats a hung client or a crashed run.  The
@@ -320,6 +344,22 @@ class DistributedSystem(ABC):
             }
         if not isinstance(reply, dict) or "cells" not in reply:
             raise QueryError(f"malformed evaluate reply: {reply!r}")
+        completeness = float(reply.get("completeness", 1.0))
+        if ctx is not None and completeness < 1.0 and not failed:
+            self.recorder.record_event(
+                "degraded_answer",
+                ctx,
+                node=coordinator,
+                detail={"completeness": completeness},
+            )
+        self.recorder.record_query(
+            kind=query.kind,
+            coordinator=coordinator,
+            latency=latency,
+            completeness=completeness,
+            ctx=ctx,
+            failed=failed,
+        )
         attribution = None
         if root is not None:
             self.tracer.end(root)
@@ -331,29 +371,35 @@ class DistributedSystem(ABC):
             latency=latency,
             provenance=reply.get("provenance", {}),
             attribution=attribution,
-            completeness=float(reply.get("completeness", 1.0)),
+            completeness=completeness,
         )
 
     def _evaluate_with_retry(
-        self, query: AggregationQuery, root
+        self, query: AggregationQuery, root, ctx=None
     ) -> Generator[Event, Any, Any]:
         """Client-side evaluate with timeout, backoff, and re-routing.
 
         Each attempt re-resolves the coordinator through the membership
         view, so once a dead coordinator is declared the retry lands on
-        the repaired ring's owner.  Returns the reply dict, or None when
-        every attempt timed out.
+        the repaired ring's owner.  Returns ``(reply, ctx, coordinator)``
+        for the final attempt — reply is None when every attempt timed
+        out, and ctx carries that attempt's number so the recorder keys
+        the outcome to the attempt that actually produced it.
         """
         faults = self.config.faults
         attempts = faults.max_retries + 1
+        coordinator = self.coordinator_for(query)
+        attempt_ctx = ctx
         for attempt in range(attempts):
             coordinator = self.coordinator_for(query)
+            if ctx is not None:
+                attempt_ctx = ctx.with_(attempt=attempt)
             started = self.sim.now
             reply_event = self.network.request(
                 CLIENT_ID,
                 coordinator,
                 "evaluate",
-                {"query": query},
+                {"query": query, "ctx": attempt_ctx},
                 size=512,
                 parent=root,
             )
@@ -361,8 +407,11 @@ class DistributedSystem(ABC):
                 [reply_event, self.sim.timeout(faults.evaluate_timeout)]
             )
             if index == 0:
-                return value
+                return value, attempt_ctx, coordinator
             self.fault_counters.increment("client_timeouts")
+            self.recorder.record_event(
+                "client_timeout", attempt_ctx, node=coordinator
+            )
             if self.tracer.enabled:
                 self.tracer.record(
                     "timeout:evaluate",
@@ -379,12 +428,22 @@ class DistributedSystem(ABC):
             ):
                 self.membership.declare_dead(coordinator)
                 self.fault_counters.increment("coordinators_declared_dead")
+                self.recorder.record_event(
+                    "coordinator_declared_dead", attempt_ctx, node=coordinator
+                )
             if attempt + 1 < attempts:
                 backoff = faults.backoff_delay(attempt, self._backoff_rng)
                 self.fault_counters.increment("client_retries")
+                self.recorder.record_event(
+                    "client_retry",
+                    attempt_ctx,
+                    node=coordinator,
+                    detail={"backoff_s": backoff},
+                )
                 yield self.sim.timeout(backoff)
         self.fault_counters.increment("client_gave_up")
-        return None
+        self.recorder.record_event("client_gave_up", attempt_ctx, node=coordinator)
+        return None, attempt_ctx, coordinator
 
     def run_query(self, query: AggregationQuery) -> QueryResult:
         """Submit one query and run the simulation to its completion."""

@@ -1,0 +1,152 @@
+"""Edge cases of the Chrome trace export and critical-path attribution:
+unfinished spans, zero-duration spans, and children outliving parents."""
+
+import json
+
+import pytest
+
+from repro.obs.critical_path import attribute_span
+from repro.obs.export import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Simulator
+
+
+def make_tracer() -> tuple[Simulator, Tracer]:
+    sim = Simulator()
+    return sim, Tracer(sim, enabled=True)
+
+
+def advance(sim: Simulator, seconds: float) -> None:
+    sim.timeout(seconds)
+    sim.run()
+
+
+def trace_events_only(events):
+    """Drop the process_name metadata rows."""
+    return [e for e in events if e["ph"] == "X"]
+
+
+class TestUnfinishedSpans:
+    def test_open_span_is_skipped_not_exported_broken(self):
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute", node="client", query_id=1)
+        advance(sim, 0.010)
+        child = tracer.begin("rpc", "network", parent=root)
+        advance(sim, 0.005)
+        tracer.end(root)
+        # child never ended: it must not appear in the export at all.
+        events = trace_events_only(chrome_trace_events(tracer))
+        assert [e["name"] for e in events] == ["query"]
+        assert child.end is None
+
+    def test_open_span_has_zero_duration_for_attribution(self):
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute", node="client", query_id=1)
+        advance(sim, 0.010)
+        open_child = tracer.begin("populate", "network", parent=root)
+        advance(sim, 0.002)
+        tracer.end(root)
+        # The unfinished child is ignored; everything is root self-time.
+        attribution = attribute_span(root)
+        assert sum(attribution.values()) == pytest.approx(root.duration)
+        assert attribution["compute"] == pytest.approx(root.duration)
+        assert open_child.duration == 0.0
+
+    def test_unfinished_root_attributes_to_nothing(self):
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute")
+        advance(sim, 0.010)
+        assert attribute_span(root) == {
+            "queueing": 0.0, "network": 0.0, "disk": 0.0, "compute": 0.0
+        }
+
+
+class TestZeroDurationSpans:
+    def test_zero_duration_span_exports_with_zero_dur(self):
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute", node="client", query_id=3)
+        instant = tracer.begin("aggregate", "compute", parent=root)
+        tracer.end(instant)  # no time passed
+        advance(sim, 0.004)
+        tracer.end(root)
+        events = trace_events_only(chrome_trace_events(tracer))
+        by_name = {e["name"]: e for e in events}
+        assert by_name["aggregate"]["dur"] == 0.0
+        assert by_name["query"]["dur"] == pytest.approx(4_000.0)  # µs
+
+    def test_zero_duration_child_contributes_nothing(self):
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute")
+        instant = tracer.begin("net", "network", parent=root)
+        tracer.end(instant)
+        advance(sim, 0.008)
+        tracer.end(root)
+        attribution = attribute_span(root)
+        assert attribution["network"] == 0.0
+        assert sum(attribution.values()) == pytest.approx(root.duration)
+
+
+class TestChildOutlivesParent:
+    def test_overrun_child_is_clipped_to_root(self):
+        """A populate reply can land after the query's root span closed;
+        attribution must clip it so the sum still equals root duration."""
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute", node="client", query_id=5)
+        advance(sim, 0.002)
+        overrun = tracer.begin("populate", "network", parent=root)
+        advance(sim, 0.004)
+        tracer.end(root)  # root closes at t=6ms
+        advance(sim, 0.010)
+        tracer.end(overrun)  # child closes at t=16ms, 10ms past the root
+        attribution = attribute_span(root)
+        assert sum(attribution.values()) == pytest.approx(root.duration)
+        # Only the in-root part of the child counts.
+        assert attribution["network"] == pytest.approx(0.004)
+        assert attribution["compute"] == pytest.approx(0.002)
+
+    def test_attribution_sums_to_root_duration_in_deep_tree(self):
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute", node="client", query_id=6)
+        advance(sim, 0.001)
+        rpc = tracer.begin("rpc", "network", parent=root)
+        advance(sim, 0.002)
+        disk = tracer.begin("read", "disk", parent=rpc)
+        advance(sim, 0.005)
+        tracer.end(disk)
+        advance(sim, 0.001)
+        tracer.end(rpc)
+        advance(sim, 0.001)
+        stray = tracer.begin("late", "queueing", parent=root)
+        advance(sim, 0.003)
+        tracer.end(root)
+        advance(sim, 1.0)
+        tracer.end(stray)
+        attribution = attribute_span(root)
+        assert sum(attribution.values()) == pytest.approx(root.duration)
+        assert attribution["disk"] == pytest.approx(0.005)
+
+
+class TestTraceFile:
+    def test_full_trace_round_trips_as_json(self, tmp_path):
+        sim, tracer = make_tracer()
+        root = tracer.begin("query", "compute", node="node-0", query_id=9)
+        open_child = tracer.begin("orphan", "network", parent=root)
+        advance(sim, 0.001)
+        tracer.end(root)
+        assert open_child.end is None
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert data["otherData"]["spans"] == 2
+        names = [e["name"] for e in data["traceEvents"] if e["ph"] == "X"]
+        assert names == ["query"]
+        # Metadata names every node as a process.
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"node-0"}
+
+    def test_trace_object_marks_truncation(self):
+        sim, tracer = make_tracer()
+        tracer.max_spans = 1
+        tracer.begin("a", "compute")
+        tracer.begin("b", "compute")
+        data = to_chrome_trace(tracer)
+        assert data["otherData"]["truncated"] is True

@@ -175,3 +175,71 @@ class TestTraceCommand:
         )
         assert code == 0
         assert "queries/s" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_waterfall_for_slowest_query(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--records", "5000",
+                "--nodes", "4",
+                "--requests", "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path:" in out
+        assert " ms  [" in out  # at least one waterfall row with a gantt bar
+
+    def test_explain_specific_query_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "explain",
+                "--records", "5000",
+                "--nodes", "4",
+                "--requests", "4",
+                "--query", "2",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        assert trace.exists()
+        assert "critical path:" in capsys.readouterr().out
+
+    def test_bad_query_index_rejected(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--records", "5000",
+                "--nodes", "4",
+                "--requests", "3",
+                "--query", "99",
+            ]
+        )
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestSloCommand:
+    def test_report_and_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_slo.json"
+        code = main(
+            ["slo", "--requests", "12", "--output", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== bench slo" in out
+        assert "outcomes:" in out
+        report = json.loads(path.read_text())
+        assert report["schema"] == "stash-bench-slo/v1"
+        assert set(report["meta"]) >= {"python", "numpy", "seed"}
+        assert report["recorder"]["queries"] == 12
+
+    def test_skip_output(self, capsys):
+        code = main(["slo", "--requests", "6", "--output", "-"])
+        assert code == 0
+        assert "wrote report" not in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""The shared percentile implementation vs numpy's reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import percentile, percentiles
+
+
+class TestPercentile:
+    def test_matches_numpy_linear(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(0.1, size=101).tolist()
+        for q in (0.0, 1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_matches_numpy_property(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q)), rel=1e-9, abs=1e-9
+        )
+
+    def test_single_value(self):
+        assert percentile([3.5], 95.0) == 3.5
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_percentiles_batch(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentiles(values, [0.0, 50.0, 100.0]) == [1.0, 3.0, 5.0]
+        with pytest.raises(ValueError):
+            percentiles([], [50.0])
