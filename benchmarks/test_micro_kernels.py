@@ -46,6 +46,34 @@ def test_grouped_summaries_100k(benchmark, batch):
     assert total == len(batch)
 
 
+def test_columnar_bin_summarize_100k(benchmark, batch):
+    """The full columnar scan pipeline: integer binning + SummaryFrame.
+
+    Times bin->summarize end to end (encoding included) — the honest
+    form of the scan kernel; materialization is deliberately excluded
+    because the pipeline defers it to the query/response boundary.
+    """
+    from repro.data.statistics import SummaryFrame
+
+    frame = benchmark(
+        lambda: SummaryFrame.from_groups(
+            batch.bin_ids(4, TemporalResolution.DAY), batch.attributes
+        )
+    )
+    assert int(frame.counts.sum()) == len(batch)
+    # Fast-but-wrong guard: bitwise identical to the string-label path.
+    from repro.data.statistics import grouped_summaries_scalar
+    from repro.geo.binning import decode_bin_ids
+
+    scalar = grouped_summaries_scalar(
+        batch.bin_keys(4, TemporalResolution.DAY), batch.attributes
+    )
+    pairs = decode_bin_ids(frame.ids, 4, TemporalResolution.DAY)
+    assert {
+        f"{gh}@{key}": vec for (gh, key), vec in zip(pairs, frame.vectors())
+    } == {str(k): v for k, v in scalar.items()}
+
+
 def test_partition_into_blocks_100k(benchmark, batch):
     blocks = benchmark(partition_into_blocks, batch, 3)
     assert sum(len(b) for b in blocks.values()) == len(batch)

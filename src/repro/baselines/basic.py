@@ -92,6 +92,11 @@ class BasicNode(StorageNode):
             # of the polygonal footprint.
             wanted = set(query.footprint())
             merged = {k: v for k, v in merged.items() if k in wanted}
+        if query.attributes is not None:
+            # Scans aggregate every attribute; the selection is applied
+            # here at the response boundary.
+            selection = list(query.attributes)
+            merged = {k: v.project(selection) for k, v in merged.items()}
         response = {
             "cells": merged,
             "provenance": {

@@ -315,6 +315,11 @@ class ElasticNode(StorageNode):
         if query.polygon is not None:
             wanted = set(query.footprint())
             merged = {k: v for k, v in merged.items() if k in wanted}
+        if query.attributes is not None:
+            # Shard scans (and the request cache) hold every attribute;
+            # the selection is applied here at the response boundary.
+            selection = list(query.attributes)
+            merged = {k: v.project(selection) for k, v in merged.items()}
         response = {
             "cells": merged,
             "provenance": {

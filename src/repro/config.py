@@ -326,6 +326,10 @@ class StashConfig:
     enable_rollup: bool = True
     #: Enable predictive prefetching (paper future-work extension).
     enable_prefetch: bool = False
+    #: Use the columnar (integer bin-id + SummaryFrame) scan kernel.
+    #: Off takes the frozen scalar string-label path — the equivalence
+    #: baseline; both produce bitwise-identical summaries.
+    columnar_scan: bool = True
 
     def with_(self, **kwargs: Any) -> "StashConfig":
         """Return a copy with top-level fields replaced."""

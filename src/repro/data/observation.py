@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import StatisticsError
 from repro.geo.bbox import BoundingBox
+from repro.geo.binning import bin_ids as _bin_ids
 from repro.geo.geohash import encode_many
 from repro.geo.temporal import TemporalResolution, TimeRange, bin_epochs
 
@@ -129,3 +130,17 @@ class ObservationBatch:
         spatial = encode_many(self.lats, self.lons, spatial_precision)
         temporal = bin_epochs(self.epochs, temporal_resolution)
         return np.char.add(np.char.add(spatial, "@"), temporal)
+
+    def bin_ids(
+        self, spatial_precision: int, temporal_resolution: TemporalResolution
+    ) -> np.ndarray:
+        """Per-record packed uint64 bin id (see :mod:`repro.geo.binning`).
+
+        The integer form of :meth:`bin_keys`: ids map 1:1 to the
+        composite labels and sort in the same order, but grouping them
+        is integer factorization instead of string sorting — the hot
+        form the columnar scan pipeline bins on.
+        """
+        return _bin_ids(
+            self.lats, self.lons, self.epochs, spatial_precision, temporal_resolution
+        )

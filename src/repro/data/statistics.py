@@ -244,18 +244,216 @@ class SummaryVector:
         return out
 
 
+class SummaryFrame:
+    """Columnar grouped summaries: many bins' statistics as parallel arrays.
+
+    The columnar counterpart of ``dict[bin, SummaryVector]``: ``ids``
+    holds the sorted distinct bin ids (packed uint64 from
+    :mod:`repro.geo.binning`, or composite string labels on the fallback
+    path), ``counts`` the per-bin observation counts, and ``columns``
+    maps each attribute name to its ``(sums, sumsqs, mins, maxs)``
+    float64 arrays — all aligned with ``ids``.
+
+    Frames are the unit the scan pipeline produces and merges: each
+    block scan yields one frame, frames merge column-wise (concatenate +
+    one stable regroup), and per-bin :class:`SummaryVector` objects are
+    materialized lazily only at the query/response boundary.  Merging
+    accumulates partial sums left-to-right in frame order, exactly like
+    the scalar per-cell merge chain, so columnar results are bitwise
+    identical to the scalar path's.
+    """
+
+    __slots__ = ("ids", "counts", "columns")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        counts: np.ndarray,
+        columns: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    ):
+        self.ids = ids
+        self.counts = counts
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return self.ids.size
+
+    @property
+    def attributes(self) -> list[str]:
+        return sorted(self.columns)
+
+    def __repr__(self) -> str:
+        return f"SummaryFrame(bins={len(self)}, attrs={self.attributes})"
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def from_groups(
+        group_keys: np.ndarray, arrays: dict[str, np.ndarray]
+    ) -> "SummaryFrame":
+        """Group raw values by key into a frame, fully vectorized.
+
+        ``group_keys`` is an array of per-record bin ids (uint64 or
+        string); ``arrays`` maps attribute names to same-length value
+        arrays.  One stable argsort plus ``np.*.reduceat`` segment
+        reductions per attribute — no per-record Python loop, and no
+        per-bin object construction.
+        """
+        if not arrays:
+            raise StatisticsError("grouped summaries need at least one attribute")
+        group_keys = np.asarray(group_keys)
+        n = group_keys.size
+        for name, values in arrays.items():
+            if np.asarray(values).shape != (n,):
+                raise StatisticsError(
+                    f"attribute {name!r} length mismatch with group keys"
+                )
+        if n == 0:
+            return SummaryFrame(
+                ids=group_keys,
+                counts=np.empty(0, dtype=np.int64),
+                columns={
+                    name: tuple(np.empty(0, dtype=np.float64) for _ in range(4))
+                    for name in arrays
+                },
+            )
+        order = np.argsort(group_keys, kind="stable")
+        sorted_keys = group_keys[order]
+        # Segment boundaries: first index of each distinct key.
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        starts = np.flatnonzero(boundary)
+        uniq = sorted_keys[starts]
+        counts = np.diff(np.append(starts, n))
+
+        columns: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        for name, values in arrays.items():
+            v = np.asarray(values, dtype=np.float64)[order]
+            sums = np.add.reduceat(v, starts)
+            sq = np.add.reduceat(np.square(v), starts)
+            mins = np.minimum.reduceat(v, starts)
+            maxs = np.maximum.reduceat(v, starts)
+            columns[name] = (sums, sq, mins, maxs)
+        return SummaryFrame(ids=uniq, counts=counts, columns=columns)
+
+    # -- monoid ------------------------------------------------------------
+
+    def merge(self, other: "SummaryFrame") -> "SummaryFrame":
+        """Column-wise merge of two frames over the same attributes."""
+        return SummaryFrame.merge_all([self, other])
+
+    @staticmethod
+    def merge_all(frames: list["SummaryFrame"]) -> "SummaryFrame":
+        """Merge frames in list order (left-to-right partial summation).
+
+        Concatenates every column and regroups with one stable sort:
+        rows with equal ids stay in frame order, and ``reduceat``
+        accumulates them left to right — the same float summation order
+        as chaining scalar ``SummaryVector.merge`` calls.
+        """
+        if not frames:
+            raise StatisticsError("merge_all of no frames")
+        if len(frames) == 1:
+            return frames[0]
+        names = set(frames[0].columns)
+        for frame in frames[1:]:
+            if set(frame.columns) != names:
+                raise StatisticsError(
+                    f"attribute mismatch: {frames[0].attributes} "
+                    f"vs {frame.attributes}"
+                )
+        ids = np.concatenate([f.ids for f in frames])
+        n = ids.size
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_ids[1:] != sorted_ids[:-1]
+        starts = np.flatnonzero(boundary)
+        counts = np.add.reduceat(
+            np.concatenate([f.counts for f in frames])[order], starts
+        )
+        columns: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        for name in frames[0].columns:
+            parts = [f.columns[name] for f in frames]
+            sums = np.add.reduceat(
+                np.concatenate([p[0] for p in parts])[order], starts
+            )
+            sq = np.add.reduceat(
+                np.concatenate([p[1] for p in parts])[order], starts
+            )
+            mins = np.minimum.reduceat(
+                np.concatenate([p[2] for p in parts])[order], starts
+            )
+            maxs = np.maximum.reduceat(
+                np.concatenate([p[3] for p in parts])[order], starts
+            )
+            columns[name] = (sums, sq, mins, maxs)
+        return SummaryFrame(ids=sorted_ids[starts], counts=counts, columns=columns)
+
+    # -- materialization -----------------------------------------------------
+
+    def vectors(self) -> list[SummaryVector]:
+        """Materialize one :class:`SummaryVector` per bin, aligned with ``ids``.
+
+        This is the lazy boundary: frames stay columnar through scan and
+        merge; per-bin objects exist only once a response needs them.
+        """
+        # Convert the columns to Python lists once — per-element ndarray
+        # indexing in the loop below would dominate otherwise.
+        counts_list = self.counts.tolist()
+        columns = {
+            name: (c[0].tolist(), c[1].tolist(), c[2].tolist(), c[3].tolist())
+            for name, c in self.columns.items()
+        }
+        out: list[SummaryVector] = []
+        for i in range(len(counts_list)):
+            summaries = {
+                name: AttributeSummary(
+                    count=counts_list[i],
+                    total=cols[0][i],
+                    total_sq=cols[1][i],
+                    minimum=cols[2][i],
+                    maximum=cols[3][i],
+                )
+                for name, cols in columns.items()
+            }
+            out.append(SummaryVector._trusted(summaries))
+        return out
+
+    def materialize(self) -> dict:
+        """``{bin id: SummaryVector}`` for every bin in the frame."""
+        return dict(zip(self.ids.tolist(), self.vectors()))
+
+
 def grouped_summaries(
     group_keys: np.ndarray, arrays: dict[str, np.ndarray]
 ) -> dict[str, SummaryVector]:
     """Group raw values by key and summarize each group, vectorized.
 
-    ``group_keys`` is an array of per-record bin labels (any dtype usable
-    with ``np.unique``); ``arrays`` maps attribute names to same-length
-    value arrays.  Returns ``{key: SummaryVector}`` for each distinct key.
+    ``group_keys`` is an array of per-record bin labels (uint64 bin ids
+    or strings); ``arrays`` maps attribute names to same-length value
+    arrays.  Returns ``{key: SummaryVector}`` for each distinct key.
 
-    This is the hot aggregation kernel: one sort (inside ``np.unique``)
-    plus ``np.add.reduceat``-style segment reductions per attribute — no
-    per-record Python loop.
+    Thin wrapper over the columnar kernel: builds a
+    :class:`SummaryFrame` and materializes it immediately.  Hot paths
+    that merge scans (``scan_blocks``) keep the frame columnar instead
+    and materialize once at the end.  ``grouped_summaries_scalar`` is
+    the frozen pre-columnar implementation kept as the equivalence
+    baseline.
+    """
+    return SummaryFrame.from_groups(group_keys, arrays).materialize()
+
+
+def grouped_summaries_scalar(
+    group_keys: np.ndarray, arrays: dict[str, np.ndarray]
+) -> dict[str, SummaryVector]:
+    """Pre-columnar ``grouped_summaries``, frozen as the equivalence baseline.
+
+    Kept verbatim (like ``rank_victims``'s scalar twin) so tests and the
+    bench kernel can pin the columnar pipeline against the original
+    semantics.  Do not optimize this function.
     """
     group_keys = np.asarray(group_keys)
     n = group_keys.size

@@ -5,11 +5,21 @@ a base-32 string where each added character splits the cell 32 ways
 (8 x 4 or 4 x 8 alternating), so prefix truncation is spatial parentage.
 
 Hot paths (binning millions of observations) use the vectorized
-:func:`encode_many`; the scalar functions serve topology queries (neighbors,
-children, antipode) on individual cells.
+:func:`encode_many` (strings) or :func:`spatial_codes` (raw interleaved
+uint64 bit-codes, the integer form the columnar aggregation pipeline bins
+on); the scalar functions serve topology queries (neighbors, children,
+antipode) on individual cells.
+
+Coordinate contract: every encoder — scalar and vectorized — rejects
+non-finite (NaN / ±inf) and out-of-range coordinates with
+:class:`~repro.errors.GeohashError`.  NaN comparisons are all-False, so
+without the explicit finiteness check a NaN would sail through a
+min/max range test and turn into a garbage geohash via integer casting.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -51,8 +61,13 @@ def cell_dimensions(precision: int) -> tuple[float, float]:
 
 
 def encode(lat: float, lon: float, precision: int) -> str:
-    """Encode a point to a geohash string of the given length."""
+    """Encode a point to a geohash string of the given length.
+
+    Non-finite (NaN / ±inf) coordinates raise :class:`GeohashError`.
+    """
     _check_precision(precision)
+    if not (math.isfinite(lat) and math.isfinite(lon)):
+        raise GeohashError(f"non-finite coordinate: ({lat}, {lon})")
     if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
         raise GeohashError(f"coordinate out of range: ({lat}, {lon})")
     lon_bits, lat_bits = _bit_counts(precision)
@@ -200,23 +215,46 @@ def encode_many(
 ) -> np.ndarray:
     """Vectorized geohash encoding.
 
-    Returns an array of fixed-width unicode geohash strings.  This is the
-    hot path when binning observation batches into cells; everything is
+    Returns an array of fixed-width unicode geohash strings.  Non-finite
+    (NaN / ±inf) coordinates raise :class:`GeohashError` — the range
+    check alone would not catch NaN (all its comparisons are False) and
+    ``astype(np.uint64)`` on NaN produces garbage codes.  Everything is
     integer bit arithmetic on uint64 arrays (no Python-level per-point
-    loop — the loops below are over *bit positions*, at most 60).
+    loop — the loops are over *bit positions*, at most 60).
+    """
+    return codes_to_geohashes(spatial_codes(lats, lons, precision), precision)
+
+
+def spatial_codes(
+    lats: np.ndarray, lons: np.ndarray, precision: int
+) -> np.ndarray:
+    """Vectorized geohash *bit-codes*: the interleaved uint64 form.
+
+    The code is the geohash string's base-32 value (5 bits per
+    character, lon bit first), so codes order exactly like same-precision
+    geohash strings and convert losslessly via
+    :func:`codes_to_geohashes` / :func:`geohash_to_code`.  This is the
+    integer spatial key of the columnar aggregation pipeline: binning
+    sorts these uint64 codes instead of strings.
+
+    Non-finite (NaN / ±inf) or out-of-range coordinates raise
+    :class:`GeohashError`.
     """
     _check_precision(precision)
     lats = np.asarray(lats, dtype=np.float64)
     lons = np.asarray(lons, dtype=np.float64)
     if lats.shape != lons.shape:
         raise GeohashError("lats and lons must have identical shapes")
-    if lats.size and (
-        float(lats.min()) < -90.0
-        or float(lats.max()) > 90.0
-        or float(lons.min()) < -180.0
-        or float(lons.max()) > 180.0
-    ):
-        raise GeohashError("coordinates out of range in encode_many")
+    if lats.size:
+        if not (bool(np.isfinite(lats).all()) and bool(np.isfinite(lons).all())):
+            raise GeohashError("non-finite coordinates in spatial encoding")
+        if (
+            float(lats.min()) < -90.0
+            or float(lats.max()) > 90.0
+            or float(lons.min()) < -180.0
+            or float(lons.max()) > 180.0
+        ):
+            raise GeohashError("coordinates out of range in spatial encoding")
     lon_bits, lat_bits = _bit_counts(precision)
     lat_idx = np.minimum(
         ((lats + 90.0) / 180.0 * (1 << lat_bits)).astype(np.uint64),
@@ -226,13 +264,13 @@ def encode_many(
         ((lons + 180.0) / 360.0 * (1 << lon_bits)).astype(np.uint64),
         (1 << lon_bits) - 1,
     )
-    return _from_indices_many(lat_idx, lon_idx, precision)
+    return _interleave_many(lat_idx, lon_idx, precision)
 
 
-def _from_indices_many(
+def _interleave_many(
     lat_idx: np.ndarray, lon_idx: np.ndarray, precision: int
 ) -> np.ndarray:
-    """Vectorized counterpart of :func:`_from_indices`."""
+    """Interleave integer bin indices into uint64 geohash bit-codes."""
     lon_bits, lat_bits = _bit_counts(precision)
     total = 5 * precision
     interleaved = np.zeros(lat_idx.shape, dtype=np.uint64)
@@ -242,12 +280,41 @@ def _from_indices_many(
     for i in range(lat_bits):
         bit = (lat_idx >> np.uint64(lat_bits - 1 - i)) & np.uint64(1)
         interleaved |= bit << np.uint64(total - 2 - 2 * i)
+    return interleaved
+
+
+def codes_to_geohashes(codes: np.ndarray, precision: int) -> np.ndarray:
+    """Convert uint64 geohash bit-codes back to base-32 strings."""
+    _check_precision(precision)
+    codes = np.asarray(codes, dtype=np.uint64)
     # Slice the interleaved value into 5-bit base-32 symbols.
     alphabet = np.frombuffer(GEOHASH_ALPHABET.encode("ascii"), dtype=np.uint8)
-    out_bytes = np.empty(lat_idx.shape + (precision,), dtype=np.uint8)
+    out_bytes = np.empty(codes.shape + (precision,), dtype=np.uint8)
     for i in range(precision):
         shift_amt = np.uint64(5 * (precision - 1 - i))
         out_bytes[..., i] = alphabet[
-            ((interleaved >> shift_amt) & np.uint64(0x1F)).astype(np.intp)
+            ((codes >> shift_amt) & np.uint64(0x1F)).astype(np.intp)
         ]
-    return out_bytes.view(f"S{precision}").reshape(lat_idx.shape).astype(f"U{precision}")
+    return out_bytes.view(f"S{precision}").reshape(codes.shape).astype(f"U{precision}")
+
+
+def geohash_to_code(geohash: str) -> int:
+    """The interleaved bit-code of one geohash string (base-32 value)."""
+    code = 0
+    for ch in geohash:
+        try:
+            code = (code << 5) | _CHAR_TO_VAL[ch]
+        except KeyError:
+            raise GeohashError(
+                f"invalid geohash character {ch!r} in {geohash!r}"
+            ) from None
+    return code
+
+
+def _from_indices_many(
+    lat_idx: np.ndarray, lon_idx: np.ndarray, precision: int
+) -> np.ndarray:
+    """Vectorized counterpart of :func:`_from_indices`."""
+    return codes_to_geohashes(
+        _interleave_many(lat_idx, lon_idx, precision), precision
+    )

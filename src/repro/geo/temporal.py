@@ -247,22 +247,53 @@ class TimeRange:
         return TimeRange(min(r.start for r in ranges), max(r.end for r in ranges))
 
 
+#: datetime64 unit letter per temporal resolution.
+_DT64_UNITS = {"YEAR": "Y", "MONTH": "M", "DAY": "D", "HOUR": "h"}
+
+
 def bin_epochs(
     epochs: np.ndarray, resolution: TemporalResolution
 ) -> np.ndarray:
-    """Vectorized temporal binning.
+    """Vectorized temporal binning to string labels.
 
     Maps an array of epoch seconds to fixed-width strings of the owning
-    :class:`TimeKey` (its ``str`` form), e.g. '2013-03-15' at DAY.  Using
-    the string form keeps the hot binning path allocation-light and lets
-    callers group with ``np.unique``.
+    :class:`TimeKey` (its ``str`` form), e.g. '2013-03-15' at DAY.  The
+    columnar aggregation pipeline bins on the integer form instead
+    (:func:`bin_epoch_codes`); this string form remains the scalar
+    fallback and the human-readable label.
     """
     epochs = np.asarray(epochs, dtype=np.float64)
     dt64 = epochs.astype("datetime64[s]")
-    unit = {"YEAR": "Y", "MONTH": "M", "DAY": "D", "HOUR": "h"}[resolution.name]
+    unit = _DT64_UNITS[resolution.name]
     truncated = dt64.astype(f"datetime64[{unit}]")
     iso = np.datetime_as_string(truncated)
     if resolution == TemporalResolution.HOUR:
         # 'YYYY-MM-DDThh' -> 'YYYY-MM-DD-hh'
         iso = np.char.replace(iso, "T", "-")
     return iso
+
+
+def bin_epoch_codes(
+    epochs: np.ndarray, resolution: TemporalResolution
+) -> np.ndarray:
+    """Vectorized temporal binning to integer codes.
+
+    Maps epoch seconds to int64 bin indices counted from the Unix epoch
+    at the given resolution (days since 1970 at DAY, hours at HOUR, …) —
+    the same datetime64 truncation :func:`bin_epochs` uses, minus the
+    string rendering, so code ``c`` names exactly the bin labelled
+    ``str(time_key_of_code(c, resolution))``.
+    """
+    epochs = np.asarray(epochs, dtype=np.float64)
+    dt64 = epochs.astype("datetime64[s]")
+    unit = _DT64_UNITS[resolution.name]
+    return dt64.astype(f"datetime64[{unit}]").astype(np.int64)
+
+
+def time_key_of_code(code: int, resolution: TemporalResolution) -> TimeKey:
+    """Inverse of :func:`bin_epoch_codes` for one integer bin code."""
+    unit = _DT64_UNITS[resolution.name]
+    seconds = int(
+        np.datetime64(int(code), unit).astype("datetime64[s]").astype(np.int64)
+    )
+    return TimeKey.from_epoch(float(seconds), resolution)

@@ -14,9 +14,14 @@ from dataclasses import dataclass
 from repro.core.keys import CellKey
 from repro.data.block import Block, BlockId, partition_into_blocks
 from repro.data.observation import ObservationBatch
-from repro.data.statistics import SummaryVector, grouped_summaries
+from repro.data.statistics import (
+    SummaryFrame,
+    SummaryVector,
+    grouped_summaries_scalar,
+)
 from repro.dht.partitioner import Partitioner
 from repro.errors import StorageError
+from repro.geo.binning import decode_bin_ids, supports_bin_ids
 from repro.query.model import AggregationQuery
 
 
@@ -207,21 +212,86 @@ class StorageCatalog:
         return moved, len(self._block_index)
 
 
-def scan_blocks(
+def _scan_frame(
     blocks: list[Block], query: AggregationQuery
+) -> tuple[SummaryFrame | None, int, ScanStats]:
+    """Columnar scan: one :class:`SummaryFrame` per block, merged in order.
+
+    Returns ``(merged frame or None if nothing matched, spatial
+    precision, stats)``.  Per-block frames bin on packed uint64 ids
+    (:meth:`ObservationBatch.bin_ids`) and merge column-wise; no
+    per-cell objects are built here — callers materialize at the
+    query/response boundary.
+    """
+    snapped_box = query.snapped_bbox()
+    snapped_time = query.snapped_time_range()
+    precision = query.resolution.spatial
+    resolution = query.resolution.temporal
+    frames: list[SummaryFrame] = []
+    bytes_read = 0
+    records = 0
+    for block in blocks:
+        bytes_read += block.nbytes
+        records += len(block)
+        batch = block.batch.filter_bbox(snapped_box).filter_time(snapped_time)
+        if len(batch) == 0:
+            continue
+        frames.append(
+            SummaryFrame.from_groups(
+                batch.bin_ids(precision, resolution), batch.attributes
+            )
+        )
+    stats = ScanStats(
+        blocks_read=len(blocks), bytes_read=bytes_read, records_scanned=records
+    )
+    merged = SummaryFrame.merge_all(frames) if frames else None
+    return merged, precision, stats
+
+
+def _frame_to_cells(
+    frame: SummaryFrame | None, query: AggregationQuery
+) -> dict[CellKey, SummaryVector]:
+    """Materialize a merged scan frame into per-cell summary vectors."""
+    if frame is None:
+        return {}
+    pairs = decode_bin_ids(
+        frame.ids, query.resolution.spatial, query.resolution.temporal
+    )
+    return {
+        CellKey(geohash=gh, time_key=key): vector
+        for (gh, key), vector in zip(pairs, frame.vectors())
+    }
+
+
+def scan_blocks(
+    blocks: list[Block], query: AggregationQuery, *, columnar: bool = True
 ) -> tuple[dict[CellKey, SummaryVector], ScanStats]:
     """Aggregate raw blocks into query-resolution cells (full cell extents).
 
     Every block is read in full (you cannot seek inside a block), records
     are filtered to the query's *snapped* extent, then binned and
     summarized with one vectorized grouped pass per block.
+
+    The default ``columnar`` path bins on packed integer ids and merges
+    per-block :class:`SummaryFrame` columns, materializing
+    :class:`SummaryVector` objects once at the end; ``columnar=False``
+    (or a resolution the packed id scheme cannot represent) takes the
+    frozen string-label scalar path — the equivalence baseline.  Both
+    produce bitwise-identical summaries: grouping order and float
+    summation order are the same.
+
+    Scans never apply the query's attribute selection: cells cache
+    *every* attribute so they stay reusable by any later query, and
+    projection happens only on responses (``SummaryVector.project``).
     """
+    if columnar and supports_bin_ids(
+        query.resolution.spatial, query.resolution.temporal
+    ):
+        frame, _, stats = _scan_frame(blocks, query)
+        return _frame_to_cells(frame, query), stats
+
     snapped_box = query.snapped_bbox()
     snapped_time = query.snapped_time_range()
-    wanted = (
-        None if query.attributes is None else set(query.attributes)
-    )
-
     out: dict[CellKey, SummaryVector] = {}
     bytes_read = 0
     records = 0
@@ -232,12 +302,9 @@ def scan_blocks(
         if len(batch) == 0:
             continue
         keys = batch.bin_keys(query.resolution.spatial, query.resolution.temporal)
-        arrays = {
-            name: values
-            for name, values in batch.attributes.items()
-            if wanted is None or name in wanted
-        }
-        for label, vector in grouped_summaries(keys, arrays).items():
+        for label, vector in grouped_summaries_scalar(
+            keys, batch.attributes
+        ).items():
             cell_key = CellKey.parse(str(label))
             existing = out.get(cell_key)
             out[cell_key] = vector if existing is None else existing.merge(vector)
@@ -254,24 +321,37 @@ def ground_truth_cells(
 
     Used by tests to verify that every system variant — basic scan,
     cold STASH, hot STASH, rolled-up STASH, replicated STASH, the
-    ElasticSearch baseline — produces identical answers.
+    ElasticSearch baseline — produces identical answers.  Unlike
+    :func:`scan_blocks` this sits at the *response* boundary, so it does
+    apply the query's attribute selection (and polygon footprint) to
+    what it returns.
     """
     sub = batch.filter_bbox(query.snapped_bbox()).filter_time(
         query.snapped_time_range()
     )
     if len(sub) == 0:
         return {}
-    keys = sub.bin_keys(query.resolution.spatial, query.resolution.temporal)
-    wanted = None if query.attributes is None else set(query.attributes)
-    arrays = {
-        name: values
-        for name, values in sub.attributes.items()
-        if wanted is None or name in wanted
-    }
-    out = {
-        CellKey.parse(str(label)): vector
-        for label, vector in grouped_summaries(keys, arrays).items()
-    }
+    precision = query.resolution.spatial
+    resolution = query.resolution.temporal
+    if supports_bin_ids(precision, resolution):
+        frame = SummaryFrame.from_groups(
+            sub.bin_ids(precision, resolution), sub.attributes
+        )
+        pairs = decode_bin_ids(frame.ids, precision, resolution)
+        out = {
+            CellKey(geohash=gh, time_key=key): vector
+            for (gh, key), vector in zip(pairs, frame.vectors())
+        }
+    else:
+        keys = sub.bin_keys(precision, resolution)
+        out = {
+            CellKey.parse(str(label)): vector
+            for label, vector in grouped_summaries_scalar(
+                keys, sub.attributes
+            ).items()
+        }
+    if query.attributes is not None:
+        out = {key: vec.project(list(query.attributes)) for key, vec in out.items()}
     if query.polygon is not None:
         footprint = set(query.footprint())
         out = {key: vec for key, vec in out.items() if key in footprint}

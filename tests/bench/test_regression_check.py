@@ -184,3 +184,26 @@ class TestBenchCheckCli:
 
     def test_default_threshold_is_published(self):
         assert DEFAULT_THRESHOLD == 1.5
+
+    def test_grouped_aggregation_metrics_are_covered(self, real_baseline):
+        """The columnar scan kernel is part of the regression surface:
+        both its vectorized and scalar timings flatten into compared
+        metrics (quick mode runs 20k records)."""
+        baseline = json.loads(real_baseline.read_text())
+        metrics = flatten_metrics(baseline)
+        assert "grouped_aggregation@20000/vectorized_s" in metrics
+        assert "grouped_aggregation@20000/scalar_s" in metrics
+
+    def test_grouped_aggregation_regression_exits_one(
+        self, real_baseline, tmp_path, capsys
+    ):
+        """A slowdown in the columnar kernel alone must fail the check."""
+        baseline = json.loads(real_baseline.read_text())
+        entry = baseline["kernels"]["grouped_aggregation"]["20000"]
+        entry["vectorized_s"] /= 16.0
+        doctored = tmp_path / "agg-doctored.json"
+        doctored.write_text(json.dumps(baseline))
+        code = main(["bench", "check", "--baseline", str(doctored)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "grouped_aggregation@20000/vectorized_s" in out

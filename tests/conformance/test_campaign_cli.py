@@ -74,24 +74,26 @@ class TestMutationCheck:
 
     def test_corrupt_scan_merge_diverges(self, monkeypatch):
         """The cross-block scan merge is a separate code path; corrupting
-        it must be caught by the plain cold-cache axis."""
-        from repro.data.statistics import AttributeSummary
+        it must be caught by the plain cold-cache axis.  Since the
+        columnar pipeline, that path is ``SummaryFrame.merge_all``."""
+        from repro.data.statistics import SummaryFrame
 
-        real = AttributeSummary.merge
+        real = SummaryFrame.merge_all
 
-        def corrupted(self, other):
-            merged = real(self, other)
-            if merged.count > 1:
-                merged = AttributeSummary(
-                    merged.count,
-                    merged.total * 1.001,
-                    merged.total_sq,
-                    merged.minimum,
-                    merged.maximum,
+        def corrupted(frames):
+            merged = real(frames)
+            if len(frames) > 1:
+                merged = SummaryFrame(
+                    merged.ids,
+                    merged.counts,
+                    {
+                        name: (cols[0] * 1.001, cols[1], cols[2], cols[3])
+                        for name, cols in merged.columns.items()
+                    },
                 )
             return merged
 
-        monkeypatch.setattr(AttributeSummary, "merge", corrupted)
+        monkeypatch.setattr(SummaryFrame, "merge_all", staticmethod(corrupted))
         report = run_campaign(seed=0, queries_per_axis=6, axes=["cold-cache"])
         assert not report.ok
 

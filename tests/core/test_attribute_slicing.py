@@ -102,3 +102,25 @@ class TestSlicedQueries:
         assert set(sliced.cells) == set(full.cells)
         for key, vec in sliced.cells.items():
             assert vec["temperature"].approx_equal(full.cells[key]["temperature"])
+
+    def test_preload_with_sliced_query_does_not_poison_cache(
+        self, cluster, dataset
+    ):
+        """``preload_fraction`` inserts scan results straight into the
+        graph; a projected preload query must still stack complete cells,
+        or a later query for a different attribute reads a poisoned
+        cache.  (Regression: ``scan_blocks`` used to apply the query's
+        attribute selection at scan time.)"""
+        inserted = cluster.preload_fraction(
+            make_query(attributes=("temperature",)), fraction=1.0
+        )
+        assert inserted > 0
+        result = cluster.run_query(make_query(attributes=("humidity",)))
+        assert result.cells
+        assert result.provenance["cells_from_disk"] == 0
+        truth = ground_truth_cells(dataset, make_query(attributes=("humidity",)))
+        assert set(truth).issubset(set(result.cells))
+        for key, vec in result.cells.items():
+            assert vec.attributes == ["humidity"]
+            if key in truth:
+                assert vec.approx_equal(truth[key])

@@ -193,3 +193,64 @@ class TestVectorized:
         out = gh.encode_many(la, lo, 4)
         assert out.shape == (2, 2)
         assert out[0, 0] == gh.encode(0.0, 0.0, 4)
+
+
+class TestNonFiniteRejection:
+    """NaN comparisons are all-False, so a min/max range check alone lets
+    NaN through and ``astype(np.uint64)`` turns it into a garbage code;
+    every encoder must reject non-finite coordinates explicitly."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_encode_rejects_non_finite_lat(self, bad):
+        with pytest.raises(GeohashError):
+            gh.encode(bad, 0.0, 5)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_encode_rejects_non_finite_lon(self, bad):
+        with pytest.raises(GeohashError):
+            gh.encode(0.0, bad, 5)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_encode_many_rejects_non_finite(self, bad):
+        good = np.array([10.0, 20.0])
+        poisoned = np.array([10.0, bad])
+        with pytest.raises(GeohashError):
+            gh.encode_many(poisoned, good, 5)
+        with pytest.raises(GeohashError):
+            gh.encode_many(good, poisoned, 5)
+
+    def test_spatial_codes_rejects_non_finite(self):
+        with pytest.raises(GeohashError):
+            gh.spatial_codes(np.array([float("nan")]), np.array([0.0]), 5)
+
+
+class TestSpatialCodes:
+    @given(st.lists(st.tuples(lats, lons), min_size=1, max_size=64), precisions)
+    @settings(max_examples=50)
+    def test_codes_roundtrip_to_strings(self, points, precision):
+        la = np.array([p[0] for p in points])
+        lo = np.array([p[1] for p in points])
+        codes = gh.spatial_codes(la, lo, precision)
+        assert codes.dtype == np.uint64
+        strings = gh.codes_to_geohashes(codes, precision)
+        assert strings.tolist() == gh.encode_many(la, lo, precision).tolist()
+        for code, text in zip(codes.tolist(), strings.tolist()):
+            assert gh.geohash_to_code(text) == code
+
+    @given(st.lists(st.tuples(lats, lons), min_size=2, max_size=64), precisions)
+    @settings(max_examples=50)
+    def test_code_order_matches_string_order(self, points, precision):
+        """The alphabet is ASCII-ascending, so uint64 codes sort exactly
+        like same-precision geohash strings — the property that keeps the
+        columnar pipeline's group order identical to the string path's."""
+        la = np.array([p[0] for p in points])
+        lo = np.array([p[1] for p in points])
+        codes = gh.spatial_codes(la, lo, precision)
+        strings = gh.encode_many(la, lo, precision)
+        assert np.argsort(codes, kind="stable").tolist() == np.argsort(
+            strings, kind="stable"
+        ).tolist()
+
+    def test_geohash_to_code_rejects_bad_character(self):
+        with pytest.raises(GeohashError):
+            gh.geohash_to_code("9q8ya")

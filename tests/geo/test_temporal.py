@@ -182,3 +182,17 @@ class TestVectorizedBinning:
 
     def test_bin_epochs_empty(self):
         assert bin_epochs(np.array([]), TemporalResolution.DAY).size == 0
+
+    @given(st.lists(epochs_2013, min_size=1, max_size=50), resolutions)
+    @settings(max_examples=40)
+    def test_epoch_codes_name_same_bins_as_labels(self, values, res):
+        """The integer codes are the label-free form of ``bin_epochs``:
+        each code round-trips to the TimeKey whose string is the label."""
+        from repro.geo.temporal import bin_epoch_codes, time_key_of_code
+
+        arr = np.array([float(int(v)) for v in values])
+        codes = bin_epoch_codes(arr, res)
+        labels = bin_epochs(arr, res)
+        assert codes.dtype == np.int64
+        for code, label in zip(codes.tolist(), labels.tolist()):
+            assert str(time_key_of_code(code, res)) == str(label)

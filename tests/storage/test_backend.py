@@ -122,7 +122,11 @@ class TestScanKernel:
         cells, stats = scan_blocks([], query)
         assert cells == {} and stats.blocks_read == 0
 
-    def test_scan_respects_attribute_selection(self, catalog, batch):
+    def test_scan_ignores_attribute_selection(self, catalog, batch):
+        """Scans aggregate *every* attribute regardless of the query's
+        selection: cells cache full vectors so they stay reusable by any
+        later query, and projection happens only at the response
+        boundary (``SummaryVector.project``)."""
         query = AggregationQuery(
             bbox=BoundingBox(30, 45, -115, -95),
             time_range=TimeKey.of(2013, 2, 2).epoch_range(),
@@ -132,8 +136,26 @@ class TestScanKernel:
         block_ids = catalog.blocks_for_query(query)
         blocks = [catalog.get_block(b) for b in block_ids]
         cells, _ = scan_blocks(blocks, query)
-        vec = next(iter(cells.values()))
-        assert vec.attributes == ["temperature"]
+        assert cells
+        for vec in cells.values():
+            assert vec.attributes == sorted(batch.attributes)
+        # ground_truth_cells sits at the response boundary: it projects.
+        truth = ground_truth_cells(batch, query)
+        for key, vec in truth.items():
+            assert vec.attributes == ["temperature"]
+            assert vec.approx_equal(cells[key].project(["temperature"]))
+
+    def test_scan_columnar_matches_scalar(self, catalog):
+        """The columnar (bin-id + SummaryFrame) scan is bitwise identical
+        to the frozen scalar string-label path, cell order included."""
+        query = make_query()
+        block_ids = catalog.blocks_for_query(query)
+        blocks = [catalog.get_block(b) for b in block_ids]
+        columnar, stats_c = scan_blocks(blocks, query, columnar=True)
+        scalar, stats_s = scan_blocks(blocks, query, columnar=False)
+        assert columnar == scalar
+        assert list(columnar) == list(scalar)
+        assert stats_c == stats_s
 
     def test_ground_truth_no_matches(self, batch):
         query = make_query(day=(2013, 6, 6))  # outside February dataset
