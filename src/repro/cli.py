@@ -266,6 +266,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cf.add_argument("--json", metavar="PATH", help="also dump the report as JSON")
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the cluster on real asyncio sockets; check vs the sim twin",
+    )
+    sv.add_argument("--nodes", type=int, default=3)
+    sv.add_argument(
+        "--workload", choices=("pan-cloud", "hotspot", "zipf"), default="pan-cloud"
+    )
+    sv.add_argument(
+        "--size", choices=("country", "state", "county", "city"), default="county"
+    )
+    sv.add_argument("--requests", type=int, default=6)
+    sv.add_argument("--records", type=int, default=20_000)
+    sv.add_argument("--days", type=int, default=2)
+    sv.add_argument("--seed", type=int, default=42)
+    sv.add_argument(
+        "--time-scale", type=float, default=None,
+        help="wall seconds per simulated second (default from ServeConfig)",
+    )
+    sv.add_argument(
+        "--budget", type=float, default=None,
+        help="wall-clock budget for the whole run in seconds",
+    )
+    sv.add_argument(
+        "--no-sim-check", action="store_true",
+        help="skip the sim-twin byte-identity comparison",
+    )
+    sv.add_argument("--json", metavar="PATH", help="also dump the report as JSON")
+
     mt = sub.add_parser(
         "metrics", help="run a workload with periodic metric sampling"
     )
@@ -767,6 +796,76 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.config import ClusterConfig, ServeConfig, StashConfig
+    from repro.data.generator import DatasetSpec
+    from repro.errors import ReproError
+    from repro.serve import run_serve
+
+    if args.nodes <= 0 or args.requests <= 0:
+        print("error: --nodes and --requests must be positive", file=sys.stderr)
+        return 2
+    serve_cfg = ServeConfig()
+    overrides = {}
+    if args.time_scale is not None:
+        overrides["time_scale"] = args.time_scale
+    if args.budget is not None:
+        overrides["wall_clock_budget"] = args.budget
+    if overrides:
+        serve_cfg = dataclasses.replace(serve_cfg, **overrides)
+    config = StashConfig(
+        cluster=ClusterConfig(num_nodes=args.nodes), serve=serve_cfg
+    )
+    spec = DatasetSpec(
+        num_records=args.records,
+        start_day=(2013, 2, 1),
+        num_days=args.days,
+        seed=args.seed,
+    )
+    queries = _generate_workload(args.workload, args.size, args.requests, args.seed)
+    try:
+        report = run_serve(
+            queries,
+            spec,
+            config,
+            check_sim=not args.no_sim_check,
+            progress=lambda line: print(f"  {line}", flush=True),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    walls = [a["wall_latency_s"] for a in report["answers"]]
+    print(
+        f"served {report['queries']} queries over {report['transport']} "
+        f"({report['codec']} codec) on {report['nodes']} node processes"
+    )
+    if walls:
+        print(
+            f"  wall latency: mean {sum(walls) / len(walls) * 1e3:8.1f} ms  "
+            f"max {max(walls) * 1e3:8.1f} ms"
+        )
+    if report["sim_checked"]:
+        verdict = "byte-identical" if report["ok"] else "DIVERGED"
+        print(f"  sim twin: {verdict} "
+              f"({len(report['divergences'])} divergences)")
+        for divergence in report["divergences"][:10]:
+            print(f"    query {divergence['index']}: {divergence['problem']}")
+    if args.json:
+        import json
+
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote report to {args.json}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.config import ObservabilityConfig
     from repro.workload.trace import replay_trace
@@ -815,6 +914,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_slo(args)
     if args.command == "conform":
         return _cmd_conform(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")

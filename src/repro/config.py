@@ -306,6 +306,33 @@ class OverloadConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Socket serving (``repro serve``): the asyncio transport backend.
+
+    These knobs only affect the real-socket deployment; the simulator
+    twin ignores them, which is what makes the sim-vs-socket equivalence
+    check meaningful (same logical config, different runtime).
+    """
+
+    #: Interface the node servers bind (port is always OS-assigned).
+    host: str = "127.0.0.1"
+    #: Wall-clock seconds per simulated second for engine timers.  The
+    #: default compresses simulated-time timeouts (tuned for the
+    #: discrete-event world, e.g. a 5 s RPC timeout) onto loop timers
+    #: without making daemon work spin hot.
+    time_scale: float = 0.05
+    #: Wall-clock seconds the driver waits for one quiesce barrier
+    #: (all nodes idle) before giving up on the run.
+    quiesce_timeout: float = 30.0
+    #: Wall-clock seconds a child node server may take to bind + report
+    #: ready before the launcher declares the run stuck.
+    startup_timeout: float = 30.0
+    #: Hard wall-clock budget for one whole ``repro serve`` run; the
+    #: launcher kills the cluster when it is exceeded (CI guard).
+    wall_clock_budget: float = 300.0
+
+
+@dataclass(frozen=True)
 class StashConfig:
     """Top-level configuration bundle for a STASH deployment."""
 
@@ -319,6 +346,7 @@ class StashConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     gossip: GossipConfig = field(default_factory=GossipConfig)
     overload: OverloadConfig = field(default_factory=OverloadConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
     #: Enable the dynamic clique replication subsystem (RQ-3).
     enable_replication: bool = True
     #: Enable roll-up recomputation of missing coarse cells from cached

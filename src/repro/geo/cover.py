@@ -73,6 +73,11 @@ def expand_ring(box: BoundingBox, precision: int) -> list[str]:
     This is the "immediate spatiotemporal neighborhood" that receives
     dispersed freshness when a region is accessed (paper Fig. 3, grey
     cells).
+
+    The grid does not wrap: columns past the antimeridian are skipped,
+    exactly as :func:`covering_cells`/:func:`_index_ranges` clamp query
+    covers at the seam.  (Wrapping here used to seed freshness on cells
+    no query footprint could ever produce.)
     """
     _check_precision(precision)
     lon_bits, lat_bits = _bit_counts(precision)
@@ -87,7 +92,8 @@ def expand_ring(box: BoundingBox, precision: int) -> list[str]:
         else:
             cols = (lon_lo - 1, lon_hi + 1)
         for col in cols:
-            ring.append((row, col % n_lon))
+            if 0 <= col < n_lon:
+                ring.append((row, col))
     if not ring:
         return []
     rows = np.asarray([r for r, _ in ring], dtype=np.uint64)

@@ -72,9 +72,21 @@ class Polygon:
     # -- transforms ----------------------------------------------------------
 
     def translated(self, dlat: float, dlon: float) -> "Polygon":
-        """Shifted copy; vertices are clamped to the globe."""
+        """Shifted copy, sliding back to stay inside the globe.
+
+        The *translation vector* is clamped, not the individual vertices,
+        so an edge pan stops at the boundary with the shape intact —
+        matching :meth:`BoundingBox.translated` semantics.  (Per-vertex
+        clamping used to flatten shapes pushed against ±90/±180 into
+        degenerate polygons mid-session.)
+        """
+        lats = [v[0] for v in self.vertices]
+        lons = [v[1] for v in self.vertices]
+        dlat = min(max(dlat, -90.0 - min(lats)), 90.0 - max(lats))
+        dlon = min(max(dlon, -180.0 - min(lons)), 180.0 - max(lons))
         return Polygon(
             tuple(
+                # Outer clamp only absorbs float round-off at the boundary.
                 (
                     min(90.0, max(-90.0, lat + dlat)),
                     min(180.0, max(-180.0, lon + dlon)),
@@ -128,16 +140,50 @@ class Polygon:
         return bool(self.contains_points(np.array([lat]), np.array([lon]))[0])
 
 
+#: How many bbox candidate cells we are willing to *filter* per polygon
+#: cell we are willing to *keep*.  A thin diagonal lasso legitimately has
+#: a bbox cover far larger than its true footprint; this factor bounds the
+#: filtering work without capping the answer itself.
+CANDIDATE_BUDGET_FACTOR = 64
+
+
 def covering_cells_polygon(
     polygon: Polygon, precision: int, max_cells: int | None = None
 ) -> list[str]:
     """Geohash cells (at ``precision``) whose centers lie in the polygon.
 
     Row-major order, like :func:`~repro.geo.cover.covering_cells`.
+
+    ``max_cells`` caps the cells *kept after* polygon filtering — a thin
+    diagonal lasso whose bbox cover is huge but whose true footprint is
+    small passes.  (Capping the bbox candidates instead used to reject
+    such lassos with a misleading "shrink the box" error.)  A separate
+    candidate budget (``CANDIDATE_BUDGET_FACTOR * max_cells``) bounds the
+    filtering work itself.
     """
-    candidates = covering_cells(polygon.bbox, precision, max_cells=max_cells)
+    if max_cells is None:
+        candidates = covering_cells(polygon.bbox, precision, max_cells=None)
+    else:
+        budget = CANDIDATE_BUDGET_FACTOR * max_cells
+        try:
+            candidates = covering_cells(
+                polygon.bbox, precision, max_cells=budget
+            )
+        except GeohashError:
+            raise GeohashError(
+                f"polygon bounding cover exceeds the filtering budget of "
+                f"{budget} candidate cells; lower the precision or shrink "
+                "the polygon"
+            ) from None
     if not candidates:
         return []
     centers = np.array([geohash_bbox(c).center for c in candidates])
     mask = polygon.contains_points(centers[:, 0], centers[:, 1])
-    return [cell for cell, keep in zip(candidates, mask) if keep]
+    kept = [cell for cell, keep in zip(candidates, mask) if keep]
+    if max_cells is not None and len(kept) > max_cells:
+        raise GeohashError(
+            f"polygon footprint of {len(kept)} cells exceeds "
+            f"max_cells={max_cells}; lower the precision or shrink the "
+            "polygon"
+        )
+    return kept

@@ -126,16 +126,29 @@ class AggregationQuery:
         """
         if self._footprint_cache is not None:
             return self._footprint_cache
-        bounding_size = covering_count(self.bbox, self.resolution.spatial) * len(
-            self.time_range.covering_keys(self.resolution.temporal)
-        )
-        if bounding_size > self.MAX_FOOTPRINT_CELLS:
-            raise QueryError(
-                f"query footprint of {bounding_size} cells exceeds "
-                f"{self.MAX_FOOTPRINT_CELLS}; lower the resolution"
-            )
-        spatial = self._spatial_cover()
         temporal = self.time_range.covering_keys(self.resolution.temporal)
+        if self.polygon is None:
+            # Rectangles: the cover size is pure arithmetic, so reject
+            # oversized footprints before materializing anything.
+            bounding_size = covering_count(
+                self.bbox, self.resolution.spatial
+            ) * len(temporal)
+            if bounding_size > self.MAX_FOOTPRINT_CELLS:
+                raise QueryError(
+                    f"query footprint of {bounding_size} cells exceeds "
+                    f"{self.MAX_FOOTPRINT_CELLS}; lower the resolution"
+                )
+        spatial = self._spatial_cover()
+        if self.polygon is not None:
+            # Polygons: the bbox cover wildly overestimates a thin lasso,
+            # so the cap applies to the *filtered* footprint (the spatial
+            # cover itself is capped inside covering_cells_polygon).
+            footprint_size = len(spatial) * len(temporal)
+            if footprint_size > self.MAX_FOOTPRINT_CELLS:
+                raise QueryError(
+                    f"polygon footprint of {footprint_size} cells exceeds "
+                    f"{self.MAX_FOOTPRINT_CELLS}; lower the resolution"
+                )
         footprint = [
             CellKey(geohash=s, time_key=t) for s in spatial for t in temporal
         ]

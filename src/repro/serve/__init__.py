@@ -1,0 +1,11 @@
+"""Real-socket serving: ``repro serve`` (see docs/serving.md).
+
+``server`` runs one storage node per OS process on the asyncio
+transport, ``cluster`` launches and supervises the fleet, and ``driver``
+replays a seeded workload from a client peer and cross-checks every
+answer against the discrete-event simulator twin.
+"""
+
+from repro.serve.driver import run_serve
+
+__all__ = ["run_serve"]

@@ -76,9 +76,17 @@ class StorageNode:
         self.counters = CounterSet()
         self._coord_queue = Store(sim, name=f"coord:{node_id}")
         self._service_queue = Store(sim, name=f"service:{node_id}")
-        self._handlers: dict[str, Handler] = {"scan": self._handle_scan}
+        self._handlers: dict[str, Handler] = {
+            "scan": self._handle_scan,
+            "ping": self._handle_ping,
+            "stats": self._handle_stats,
+        }
         self._started = False
         self._workers_stale = False
+        #: Handlers currently executing (any kind).  Together with
+        #: :attr:`pending_requests` this gives an external driver a
+        #: complete idleness signal (the serve quiesce barrier).
+        self._inflight = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -196,6 +204,7 @@ class StorageNode:
                 # Receiver-side work (disk reads, fan-out RPCs) parents
                 # onto the handler span, not the caller's rpc span.
                 message.span = hspan
+        self._inflight += 1
         try:
             yield self.sim.process(handler(message))
         except Exception as exc:
@@ -208,6 +217,7 @@ class StorageNode:
             else:
                 raise
         finally:
+            self._inflight -= 1
             self.tracer.end(hspan)
 
     def register_handler(self, kind: str, handler: Handler) -> None:
@@ -401,6 +411,33 @@ class StorageNode:
         self.counters.increment("records_scanned", stats.records_scanned)
         self.tracer.end(span)
         return cells
+
+    # -- liveness / introspection RPCs (serve quiesce barrier) -------------
+
+    def _handle_ping(self, message: Message) -> Generator[Event, Any, None]:
+        """Liveness probe: answers as soon as a service worker is free."""
+        yield self.sim.timeout(0.0)
+        self.network.respond(message, {"node": self.node_id, "ok": True}, size=16)
+
+    def _handle_stats(self, message: Message) -> Generator[Event, Any, None]:
+        """Idleness snapshot for an external driver.
+
+        ``inflight`` excludes this stats request itself, so a fully idle
+        node reports ``pending == 0 and inflight == 0`` — the serve
+        driver's quiesce barrier between replayed queries.
+        """
+        yield self.sim.timeout(0.0)
+        self.network.respond(
+            message,
+            {
+                "node": self.node_id,
+                "pending": self.pending_requests,
+                "service_queue": len(self._service_queue),
+                "inflight": self._inflight - 1,
+                "handled": self.counters.get("handled:evaluate"),
+            },
+            size=64,
+        )
 
     def _handle_scan(self, message: Message) -> Generator[Event, Any, None]:
         yield self.sim.timeout(self.cost.request_overhead)

@@ -40,8 +40,9 @@ from repro.sim.metrics import (
     LatencyCollector,
     ThroughputTimeline,
 )
-from repro.sim.network import Network
 from repro.storage.backend import StorageCatalog
+from repro.transport.base import Transport
+from repro.transport.sim_local import SimTransport
 
 #: Network id of the (single, aggregate) client endpoint.
 CLIENT_ID = "client"
@@ -55,9 +56,16 @@ class DistributedSystem(ABC):
         dataset: ObservationBatch,
         config: StashConfig = DEFAULT_CONFIG,
         sim: Simulator | None = None,
+        transport: Transport | None = None,
     ):
         self.config = config
-        self.sim = sim if sim is not None else Simulator()
+        # The transport is the runtime seam: the same node logic runs on
+        # the discrete-event simulator (default, deterministic) or on a
+        # caller-provided backend such as the asyncio socket transport.
+        if transport is None:
+            transport = SimTransport(config.cost, sim=sim)
+        self.transport = transport
+        self.sim = transport.engine
         self.node_ids = [f"node-{i}" for i in range(config.cluster.num_nodes)]
         self.partitioner = PrefixPartitioner(
             self.node_ids, config.cluster.partition_precision
@@ -92,9 +100,11 @@ class DistributedSystem(ABC):
         self.recorder = FlightRecorder(
             self.sim, enabled=obs.flight_recorder, slo_targets=obs.slo_targets
         )
-        self.network = Network(
-            self.sim, config.cost, tracer=self.tracer, recorder=self.recorder
-        )
+        self.network = transport.network
+        # The fabric predates the observability objects (the transport may
+        # have been built by the caller), so inject them after the fact.
+        self.network.tracer = self.tracer
+        self.network.recorder = self.recorder
         self.network.register(CLIENT_ID)
         self.latencies = LatencyCollector()
         self.timeline = ThroughputTimeline()

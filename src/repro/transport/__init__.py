@@ -1,0 +1,11 @@
+"""Transport backends: the seam between node logic and its runtime.
+
+``repro.transport.base`` defines the interface; ``sim_local`` wraps the
+discrete-event simulator (the deterministic oracle-checked twin) and
+``asyncio_net`` runs the identical node code on real sockets.  See
+``docs/serving.md``.
+"""
+
+from repro.transport.base import Transport
+
+__all__ = ["Transport"]

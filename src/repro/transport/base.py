@@ -1,0 +1,68 @@
+"""The transport seam: what node logic needs from its runtime.
+
+Every node, coordinator, gossip agent, and overload guard in this repo is
+written against two duck-typed handles:
+
+* an **engine** — the :class:`~repro.sim.engine.Simulator` surface
+  (``now``, ``timeout``, ``process``, ``event``, ``all_of``, ``any_of``,
+  plus the internal ``_schedule`` the Event classes call), which drives
+  generator processes via one-shot :class:`~repro.sim.engine.Event`
+  callbacks; and
+* a **network** — the :class:`~repro.sim.network.Network` surface
+  (``register``/``inbox`` endpoints, ``send``/``request``/``respond``/
+  ``respond_error``, fault hooks, byte accounting).
+
+A :class:`Transport` bundles one engine with one network and a lifecycle.
+The discrete-event simulator is one implementation
+(:class:`~repro.transport.sim_local.SimTransport`, the deterministic
+oracle-checked twin); real asyncio sockets are another
+(:class:`~repro.transport.asyncio_net.AsyncioTransport`).  The node code
+itself is transport-agnostic: the same generators run on either backend
+because both backends speak the same Event protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+
+class Transport(ABC):
+    """One engine + one network + a lifecycle.
+
+    ``engine`` must be :class:`~repro.sim.engine.Simulator`-compatible
+    (it is handed to nodes as their ``sim``); ``network`` must be
+    :class:`~repro.sim.network.Network`-compatible.  ``name`` keys
+    metrics, spans, and serve reports to the backend that produced them.
+    """
+
+    #: Backend identifier ("sim", "asyncio") — stamped into observability
+    #: output so traces from different backends are distinguishable.
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def engine(self) -> Any:
+        """The Simulator-compatible scheduler nodes run their processes on."""
+
+    @property
+    @abstractmethod
+    def network(self) -> Any:
+        """The Network-compatible fabric nodes exchange messages over."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release whatever the backend holds (sockets, timers).  Idempotent.
+
+        The sim backend holds nothing; the asyncio backend cancels timer
+        handles, closes its listening socket, drains the connection pool,
+        and resolves any in-flight RPCs to ``RPC_FAILED``.
+        """
+
+    # -- convenience -------------------------------------------------------
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

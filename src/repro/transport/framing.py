@@ -1,0 +1,69 @@
+"""Length-prefixed framing for the socket transport.
+
+Each frame is a 4-byte big-endian length followed by one codec-encoded
+payload.  :class:`FrameDecoder` is an incremental parser: feed it
+whatever chunk the socket produced (half a header, three frames and a
+tail, ...) and it yields every complete frame — the standard defense
+against TCP's stream semantics.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import ReproError
+from repro.transport import codec
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's body.  Far above any real payload (large
+#: query answers are a few MB); guards against a corrupt or hostile
+#: header committing us to a multi-GB allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FramingError(ReproError):
+    """Malformed frame: oversized or truncated."""
+
+
+def encode_frame(value: Any) -> bytes:
+    """One payload -> header + body bytes."""
+    body = codec.encode(value)
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary chunking of the stream."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Absorb a chunk; return every frame it completed (maybe none)."""
+        self._buffer.extend(data)
+        out: list[Any] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return out
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FramingError(
+                    f"frame header claims {length} bytes "
+                    f"(max {MAX_FRAME_BYTES}); corrupt stream?"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return out
+            body = bytes(self._buffer[_HEADER.size : end])
+            del self._buffer[:end]
+            out.append(codec.decode(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)

@@ -1,0 +1,46 @@
+"""The simulator as a Transport: the deterministic, oracle-checked twin.
+
+Wraps the existing :class:`~repro.sim.engine.Simulator` and
+:class:`~repro.sim.network.Network` unchanged.  Everything the oracle
+harness has ever verified runs through this backend; the asyncio backend
+is checked *against* it (`repro serve` replays the same workload on both
+and compares answers byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.transport.base import Transport
+
+
+class SimTransport(Transport):
+    """Discrete-event backend: simulated time, in-process message fabric."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        sim: Simulator | None = None,
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
+    ):
+        self._sim = sim if sim is not None else Simulator()
+        self._network = Network(
+            self._sim, cost, tracer=tracer, recorder=recorder
+        )
+
+    @property
+    def engine(self) -> Simulator:
+        return self._sim
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def close(self) -> None:
+        """Nothing to release: the simulator holds no OS resources."""

@@ -95,3 +95,30 @@ class TestExpandRing:
         # Perimeter of an a x b grid is 2a + 2b + 4.
         assert len(ring) >= 8
         assert len(ring) < n + 4 * (n ** 0.5 + 2) * 2
+
+    def test_ring_clamps_at_antimeridian_east(self):
+        """Regression: the ring used to wrap columns across ±180, seeding
+        freshness on far-side cells no query footprint can produce."""
+        box = BoundingBox(30, 34, 172, 180)
+        cover = set(covering_cells(box, 3))
+        for cell in expand_ring(box, 3):
+            cell_box = gh.bbox(cell)
+            # Nothing from the far (western) side of the seam.
+            assert cell_box.east > 0
+            assert any(nb in cover for nb in gh.neighbors(cell))
+
+    def test_ring_clamps_at_antimeridian_west(self):
+        box = BoundingBox(30, 34, -180, -172)
+        cover = set(covering_cells(box, 3))
+        for cell in expand_ring(box, 3):
+            cell_box = gh.bbox(cell)
+            assert cell_box.west < 0
+            assert any(nb in cover for nb in gh.neighbors(cell))
+
+    def test_ring_cells_reachable_by_some_cover(self):
+        """Every ring cell at the seam is producible as a query cover cell
+        (consistency between dispersal targets and query footprints)."""
+        box = BoundingBox(60, 80, 160, 180)
+        wider = BoundingBox(55, 85, 150, 180)
+        reachable = set(covering_cells(wider, 2))
+        assert set(expand_ring(box, 2)) <= reachable

@@ -95,6 +95,34 @@ class TestTransforms:
         with pytest.raises(GeohashError):
             TRIANGLE.scaled(0.0)
 
+    def test_translated_edge_pan_preserves_shape(self):
+        """Regression: panning into ±90/±180 used to clamp each vertex
+        independently, collapsing the shape into a degenerate polygon."""
+        moved = TRIANGLE.translated(60.0, 0.0)  # would overshoot the pole
+        assert moved.bbox.north == 90.0
+        assert moved.bbox.height == pytest.approx(TRIANGLE.bbox.height)
+        assert moved.bbox.width == pytest.approx(TRIANGLE.bbox.width)
+
+    def test_translated_edge_pan_matches_bbox_semantics(self):
+        box = BoundingBox(30.0, 40.0, -110.0, -100.0)
+        poly = Polygon.from_bbox(box)
+        for dlat, dlon in [(70.0, 0.0), (-130.0, 0.0), (0.0, -90.0), (0.0, 300.0)]:
+            moved = poly.translated(dlat, dlon)
+            expected = box.translated(dlat, dlon)
+            assert moved.bbox.south == pytest.approx(expected.south)
+            assert moved.bbox.north == pytest.approx(expected.north)
+            assert moved.bbox.west == pytest.approx(expected.west)
+            assert moved.bbox.east == pytest.approx(expected.east)
+
+    @given(
+        st.floats(-200, 200), st.floats(-400, 400),
+    )
+    @settings(max_examples=60)
+    def test_translated_never_degenerate(self, dlat, dlon):
+        moved = CONCAVE.translated(dlat, dlon)
+        assert moved.bbox.height > 0
+        assert moved.bbox.width > 0
+
 
 class TestPolygonCover:
     def test_cover_subset_of_bbox_cover(self):
@@ -117,6 +145,55 @@ class TestPolygonCover:
             if cell not in included:
                 lat, lon = geohash_bbox(cell).center
                 assert not TRIANGLE.contains_point(lat, lon)
+
+    def test_thin_lasso_cap_applies_after_filtering(self):
+        """Regression: max_cells used to cap the bbox *candidates*, so a
+        thin diagonal lasso with a huge bounding box but a small true
+        footprint was rejected with a misleading "shrink the box" error."""
+        from repro.geo.cover import covering_cells
+
+        lasso = Polygon.of((0.0, 0.0), (5.0, 0.0), (45.0, 40.0), (40.0, 40.0))
+        bbox_cover = covering_cells(lasso.bbox, 3)
+        cap = len(bbox_cover) // 2  # tighter than the bbox cover...
+        cells = covering_cells_polygon(lasso, 3, max_cells=cap)
+        assert 0 < len(cells) <= cap  # ...but the true footprint fits
+
+    def test_cap_still_enforced_on_filtered_footprint(self):
+        with pytest.raises(GeohashError, match="polygon"):
+            covering_cells_polygon(TRIANGLE, 4, max_cells=3)
+
+    def test_candidate_budget_still_guards_runaway_covers(self):
+        from repro.geo.polygon import CANDIDATE_BUDGET_FACTOR
+
+        lasso = Polygon.of((0.0, 0.0), (5.0, 0.0), (45.0, 40.0), (40.0, 40.0))
+        with pytest.raises(GeohashError, match="budget"):
+            # Budget = 64 * 2 = 128 candidates, far below the bbox cover.
+            covering_cells_polygon(lasso, 3, max_cells=2)
+        assert CANDIDATE_BUDGET_FACTOR >= 32  # thin lassos must keep passing
+
+    def test_footprint_cap_worded_for_polygons(self):
+        """A polygon query over multiple time bins is capped on its true
+        (filtered) footprint, with a polygon-worded QueryError."""
+        from repro.errors import QueryError
+        from repro.geo.resolution import Resolution
+        from repro.geo.temporal import TemporalResolution, TimeKey, TimeRange
+        from repro.query.model import AggregationQuery
+
+        spatial = len(covering_cells_polygon(TRIANGLE, 3))
+        assert spatial >= 2
+        query = AggregationQuery.for_polygon(
+            TRIANGLE,
+            TimeRange.from_keys([TimeKey.of(2013, 2, 1), TimeKey.of(2013, 2, 2)]),
+            Resolution(3, TemporalResolution.DAY),
+        )
+        try:
+            old = AggregationQuery.MAX_FOOTPRINT_CELLS
+            # Spatial cover fits, but spatial x temporal does not.
+            AggregationQuery.MAX_FOOTPRINT_CELLS = 2 * spatial - 1
+            with pytest.raises(QueryError, match="polygon"):
+                query.footprint()
+        finally:
+            AggregationQuery.MAX_FOOTPRINT_CELLS = old
 
     def test_rectangle_polygon_cover_is_interior_of_bbox_cover(self):
         """Center-based polygon cover keeps exactly the bbox-cover cells

@@ -1,0 +1,203 @@
+"""Sim-vs-socket equivalence: the acceptance gate of the serve backend.
+
+Same seed, same workload, serial replay with quiesce barriers, no
+faults, no eviction pressure: every answer must be **byte-identical**
+(exact float equality on each SummaryVector, identical key sets,
+identical completeness) across the discrete-event and asyncio-socket
+transports.  See docs/serving.md for why those preconditions matter.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import ClusterConfig, ServeConfig, StashConfig
+from repro.core.cluster import StashCluster
+from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
+from repro.dht.partitioner import PrefixPartitioner
+from repro.geo.bbox import BoundingBox
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey
+from repro.query.model import AggregationQuery
+from repro.serve.driver import _quiesce, _rpc, coordinator_for
+from repro.serve.server import NodeSpec, build_node
+from repro.system import CLIENT_ID
+from repro.transport.asyncio_net import AsyncioTransport
+
+SPEC = DatasetSpec(
+    num_records=6_000, start_day=(2013, 2, 1), num_days=2, seed=11
+)
+CONFIG = StashConfig(
+    cluster=ClusterConfig(num_nodes=2), serve=ServeConfig(time_scale=0.02)
+)
+NODE_IDS = ("node-0", "node-1")
+
+
+def _workload() -> list[AggregationQuery]:
+    """A small session exercising cache, pan, and roll-up paths."""
+    box = BoundingBox(35.0, 42.0, -105.0, -95.0)
+    day = TimeKey.of(2013, 2, 1).epoch_range()
+    fine = Resolution(3, TemporalResolution.DAY)
+    return [
+        AggregationQuery(bbox=box, time_range=day, resolution=fine),
+        # Identical repeat: must be served from cache on both backends.
+        AggregationQuery(bbox=box, time_range=day, resolution=fine),
+        # A pan: partial overlap with the cached footprint.
+        AggregationQuery(
+            bbox=box.translated(0.0, 3.0), time_range=day, resolution=fine
+        ),
+        # Coarser resolution over the same extent: the roll-up path.
+        AggregationQuery(
+            bbox=box,
+            time_range=day,
+            resolution=Resolution(2, TemporalResolution.DAY),
+        ),
+    ]
+
+
+def _socket_answers(queries):
+    """Replay on real sockets: every node in-process, each on its own
+    transport, wired through 127.0.0.1 — the full wire path (framing,
+    codec, controller) without multiprocessing overhead."""
+
+    async def main():
+        transports = {}
+        addresses = {}
+        for index, node_id in enumerate(NODE_IDS):
+            transport = AsyncioTransport(
+                node_id, time_scale=CONFIG.serve.time_scale
+            )
+            addresses[node_id] = await transport.start()
+            node = build_node(
+                NodeSpec(
+                    node_index=index,
+                    node_ids=NODE_IDS,
+                    dataset=SPEC,
+                    config=CONFIG,
+                ),
+                transport,
+            )
+            node.start()
+            transports[node_id] = transport
+        client = AsyncioTransport(CLIENT_ID, time_scale=CONFIG.serve.time_scale)
+        addresses[CLIENT_ID] = await client.start()
+        client.network.register(CLIENT_ID)
+        client.network.set_peers(addresses)
+        for transport in transports.values():
+            transport.network.set_peers(addresses)
+        partitioner = PrefixPartitioner(
+            list(NODE_IDS), CONFIG.cluster.partition_precision
+        )
+        answers = []
+        try:
+            for query in queries:
+                coordinator = coordinator_for(partitioner, query)
+                reply = await _rpc(
+                    client,
+                    coordinator,
+                    "evaluate",
+                    {"query": query, "ctx": None},
+                    size=512,
+                    timeout=60,
+                )
+                await _quiesce(client, NODE_IDS, timeout=60)
+                answers.append(reply)
+        finally:
+            await client.aclose()
+            for transport in transports.values():
+                await transport.aclose()
+        return answers
+
+    return asyncio.run(main())
+
+
+def _sim_answers(queries):
+    dataset = SyntheticNAMGenerator(SPEC).generate()
+    cluster = StashCluster(dataset, CONFIG)
+    results = []
+    for query in queries:
+        results.append(cluster.run_query(query))
+        cluster.drain()
+    return results
+
+
+class TestByteIdentity:
+    @pytest.fixture(scope="class")
+    def answers(self):
+        queries = _workload()
+        return _socket_answers(queries), _sim_answers(queries)
+
+    def test_nonempty_workload(self, answers):
+        socket_answers, _ = answers
+        assert any(len(a["cells"]) > 0 for a in socket_answers)
+
+    def test_identical_key_sets(self, answers):
+        socket_answers, sim_results = answers
+        for socket_reply, sim_result in zip(socket_answers, sim_results):
+            assert set(socket_reply["cells"]) == set(sim_result.cells)
+
+    def test_byte_identical_summaries(self, answers):
+        socket_answers, sim_results = answers
+        for socket_reply, sim_result in zip(socket_answers, sim_results):
+            for key, summary in sim_result.cells.items():
+                # SummaryVector.__eq__ is exact float equality.
+                assert socket_reply["cells"][key] == summary, key
+
+    def test_identical_completeness(self, answers):
+        socket_answers, sim_results = answers
+        for socket_reply, sim_result in zip(socket_answers, sim_results):
+            assert (
+                float(socket_reply.get("completeness", 1.0))
+                == sim_result.completeness
+                == 1.0
+            )
+
+    def test_repeat_query_served_from_cache(self, answers):
+        socket_answers, _ = answers
+        first, repeat = socket_answers[0], socket_answers[1]
+        assert repeat["cells"] == first["cells"]
+        provenance = repeat.get("provenance", {})
+        assert provenance.get("cells_from_cache", 0) > 0
+        assert provenance.get("cells_from_disk", 0) == 0
+
+
+class TestMultiprocessServe:
+    """One small end-to-end pass through ``run_serve``: real processes,
+    real sockets, sim twin cross-check — the ``repro serve`` path."""
+
+    def test_run_serve_two_nodes_byte_identical(self):
+        from repro.serve import run_serve
+
+        queries = _workload()[:2]
+        report = run_serve(queries, SPEC, CONFIG)
+        assert report["nodes"] == 2
+        assert report["queries"] == 2
+        assert report["sim_checked"] is True
+        assert report["divergences"] == []
+        assert report["ok"] is True
+        assert all(a["cells"] > 0 for a in report["answers"])
+
+
+class TestQuiesceHandlers:
+    """The ping/stats introspection RPCs, exercised on the sim backend."""
+
+    def test_ping_and_idle_stats(self):
+        dataset = SyntheticNAMGenerator(SPEC).generate()
+        cluster = StashCluster(dataset, CONFIG)
+        cluster.run_query(_workload()[0])
+        cluster.drain()
+        reply = cluster.sim.run(
+            until=cluster.network.request(
+                CLIENT_ID, "node-0", "ping", {}, size=16
+            )
+        )
+        assert reply == {"node": "node-0", "ok": True}
+        stats = cluster.sim.run(
+            until=cluster.network.request(
+                CLIENT_ID, "node-0", "stats", {}, size=16
+            )
+        )
+        assert stats["node"] == "node-0"
+        assert stats["pending"] == 0
+        assert stats["service_queue"] == 0
+        assert stats["inflight"] == 0  # excludes the stats request itself

@@ -1,0 +1,181 @@
+"""Wire codec: every payload type must round-trip faithfully."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.keys import CellKey
+from repro.data.block import BlockId
+from repro.data.statistics import AttributeSummary, SummaryVector
+from repro.errors import NetworkError, StorageError
+from repro.faults.membership import RPC_FAILED, RPC_SHED
+from repro.geo.bbox import BoundingBox
+from repro.geo.polygon import Polygon
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeKey, TimeRange
+from repro.obs.recorder import QueryContext
+from repro.query.model import AggregationQuery
+from repro.transport.codec import (
+    CodecError,
+    RemoteRpcError,
+    codec_name,
+    decode,
+    encode,
+)
+
+
+def roundtrip(value):
+    return decode(encode(value))
+
+
+class TestScalars:
+    def test_primitives(self):
+        for value in (None, True, False, 0, -7, 3.25, "text", [1, 2], ["a"]):
+            assert roundtrip(value) == value
+
+    def test_float_bit_exact(self):
+        for value in (0.1, 1e300, -1e-300, math.pi, float("inf"), float("-inf")):
+            result = roundtrip(value)
+            assert result == value
+            assert isinstance(result, float)
+
+    def test_numpy_scalars_lowered(self):
+        assert roundtrip(np.int64(12)) == 12
+        assert roundtrip(np.float64(2.5)) == 2.5
+
+    def test_bytes(self):
+        assert roundtrip(b"\x00\xffhello") == b"\x00\xffhello"
+
+    def test_tuple_survives(self):
+        value = (1, (2.5, "x"), None)
+        result = roundtrip(value)
+        assert result == value
+        assert isinstance(result, tuple)
+        assert isinstance(result[1], tuple)
+
+    def test_sets(self):
+        assert roundtrip({1, 2, 3}) == {1, 2, 3}
+        result = roundtrip(frozenset(("a", "b")))
+        assert result == frozenset(("a", "b"))
+        assert isinstance(result, frozenset)
+
+    def test_unencodable_raises(self):
+        with pytest.raises(CodecError):
+            encode(object())
+
+
+class TestDicts:
+    def test_order_preserved(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(value)) == ["z", "a", "m"]
+
+    def test_cellkey_keys(self):
+        key = CellKey.parse("9q8@2013-02-01")
+        value = {key: 7}
+        result = roundtrip(value)
+        assert result == value
+        assert isinstance(next(iter(result)), CellKey)
+
+    def test_nested(self):
+        value = {"outer": {"inner": [1, (2, 3)]}}
+        assert roundtrip(value) == value
+
+
+class TestDomainTypes:
+    def test_geometry(self):
+        box = BoundingBox(30.0, 40.0, -110.0, -100.0)
+        poly = Polygon.of((30.0, -110.0), (40.0, -110.0), (30.0, -100.0))
+        assert roundtrip(box) == box
+        assert roundtrip(poly) == poly
+
+    def test_temporal(self):
+        key = TimeKey.of(2013, 2, 3)
+        assert roundtrip(key) == key
+        rng = TimeRange(100.0, 200.5)
+        assert roundtrip(rng) == rng
+        assert roundtrip(TemporalResolution.DAY) is TemporalResolution.DAY
+        res = Resolution(4, TemporalResolution.HOUR)
+        assert roundtrip(res) == res
+
+    def test_block_and_cell_ids(self):
+        block = BlockId(geohash="9q8", day="2013-02-01")
+        assert roundtrip(block) == block
+        key = CellKey.parse("9q@2013-02")
+        assert roundtrip(key) == key
+
+    def test_summary_vector_bit_exact(self):
+        vec = SummaryVector._trusted(
+            {
+                "temperature": AttributeSummary(3, 10.5, 40.25, -1.5, 9.0),
+                "humidity": AttributeSummary.empty(),
+            }
+        )
+        result = roundtrip(vec)
+        assert result == vec  # SummaryVector.__eq__ is exact float equality
+        assert list(result._summaries) == ["temperature", "humidity"]
+
+    def test_aggregation_query_preserves_id(self):
+        query = AggregationQuery(
+            bbox=BoundingBox(30.0, 40.0, -110.0, -100.0),
+            time_range=TimeKey.of(2013, 2, 2).epoch_range(),
+            resolution=Resolution(3, TemporalResolution.DAY),
+            attributes=("temperature",),
+        )
+        result = roundtrip(query)
+        assert result.query_id == query.query_id
+        assert result.bbox == query.bbox
+        assert result.resolution == query.resolution
+        assert result.attributes == query.attributes
+        assert result.footprint() == query.footprint()
+
+    def test_polygon_query(self):
+        poly = Polygon.of((30.0, -110.0), (40.0, -110.0), (30.0, -100.0))
+        query = AggregationQuery.for_polygon(
+            poly,
+            TimeKey.of(2013, 2, 2).epoch_range(),
+            Resolution(3, TemporalResolution.DAY),
+        )
+        result = roundtrip(query)
+        assert result.polygon == poly
+        assert result.footprint() == query.footprint()
+
+    def test_query_context(self):
+        ctx = QueryContext(query_id=9, attempt=1, leg="node-2", redirect_depth=1)
+        assert roundtrip(ctx) == ctx
+
+
+class TestRpcSemantics:
+    def test_sentinel_identity(self):
+        assert roundtrip(RPC_FAILED) is RPC_FAILED
+        assert roundtrip(RPC_SHED) is RPC_SHED
+
+    def test_known_exception_class(self):
+        result = roundtrip(StorageError("no such block"))
+        assert isinstance(result, StorageError)
+        assert "no such block" in str(result)
+
+    def test_unknown_exception_class(self):
+        result = roundtrip(ValueError("boom"))
+        assert isinstance(result, RemoteRpcError)
+        assert "ValueError" in str(result)
+        assert "boom" in str(result)
+
+    def test_nested_rpc_payload(self):
+        # The exact shape a node reply travels in.
+        key = CellKey.parse("9q8@2013-02-01")
+        payload = {
+            "cells": {key: SummaryVector._trusted({"t": AttributeSummary.empty()})},
+            "provenance": {"cache": 1, "disk": 2},
+            "completeness": 1.0,
+        }
+        assert roundtrip(payload) == payload
+
+
+def test_codec_name_reports_backend():
+    assert codec_name() in ("msgpack", "json")
+
+
+def test_network_error_roundtrip():
+    result = roundtrip(NetworkError("link down"))
+    assert isinstance(result, NetworkError)
