@@ -210,6 +210,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fresh/baseline ratio that fails (default 1.5)",
     )
     bc.add_argument("--json", metavar="PATH", help="also dump the verdict as JSON")
+    bs = be_sub.add_parser(
+        "scale",
+        help="nodes x users closed-loop sweep: throughput + latency SLOs, "
+        "STASH vs elastic",
+    )
+    bs.add_argument(
+        "--quick", action="store_true",
+        help="tiny grid on the unit bench scale (the CI smoke configuration)",
+    )
+    bs.add_argument("--seed", type=int, default=0)
+    bs.add_argument(
+        "--nodes", help="comma-separated node counts overriding the sweep"
+    )
+    bs.add_argument(
+        "--users", help="comma-separated concurrent-user counts overriding the sweep"
+    )
+    bs.add_argument(
+        "--output", default="BENCH_scale.json", help="report path ('-' to skip)"
+    )
 
     ep = sub.add_parser(
         "explain",
@@ -294,6 +313,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the sim-twin byte-identity comparison",
     )
     sv.add_argument("--json", metavar="PATH", help="also dump the report as JSON")
+    sv.add_argument(
+        "--http", action="store_true",
+        help="serve the HTTP query facade instead of replaying a workload",
+    )
+    sv.add_argument(
+        "--http-backend", choices=("sim", "socket"), default="sim",
+        help="facade backend: in-process simulated cluster or the real "
+        "socket cluster (--nodes processes)",
+    )
+    sv.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port to bind (default: OS-assigned)",
+    )
+    sv.add_argument(
+        "--duration", type=float, default=0.0,
+        help="seconds to serve HTTP before exiting (0 = until interrupted)",
+    )
 
     mt = sub.add_parser(
         "metrics", help="run a workload with periodic metric sampling"
@@ -686,6 +722,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_churn(args)
     if args.bench_command == "check":
         return _cmd_bench_check(args)
+    if args.bench_command == "scale":
+        return _cmd_bench_scale(args)
     from repro.bench.kernels import (
         DEFAULT_SIZES,
         QUICK_SIZES,
@@ -761,6 +799,48 @@ def _cmd_bench_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.bench.scale import (
+        ScaleSweep,
+        format_scale_report,
+        run_scale,
+        write_scale_report,
+    )
+
+    sweep = ScaleSweep.quick() if args.quick else ScaleSweep.default()
+    overrides = {}
+    for name, raw in (("node_counts", args.nodes), ("user_counts", args.users)):
+        if not raw:
+            continue
+        try:
+            values = tuple(int(v) for v in raw.split(","))
+        except ValueError:
+            print(f"error: expected comma-separated ints, got {raw!r}",
+                  file=sys.stderr)
+            return 2
+        if any(v <= 0 for v in values):
+            print(f"error: {name} values must be positive", file=sys.stderr)
+            return 2
+        overrides[name] = values
+    if overrides:
+        sweep = dataclasses.replace(sweep, **overrides)
+    report = run_scale(
+        sweep, seed=args.seed, progress=lambda line: print(f"  {line}", flush=True)
+    )
+    print()
+    print(format_scale_report(report))
+    if args.output != "-":
+        try:
+            write_scale_report(report, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote report to {args.output}")
+    return 0
+
+
 def _cmd_conform(args: argparse.Namespace) -> int:
     from repro.oracle import run_campaign
     from repro.oracle.conformance import AXES
@@ -813,6 +893,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overrides["time_scale"] = args.time_scale
     if args.budget is not None:
         overrides["wall_clock_budget"] = args.budget
+    if args.http:
+        overrides["http_port"] = args.port
     if overrides:
         serve_cfg = dataclasses.replace(serve_cfg, **overrides)
     config = StashConfig(
@@ -824,6 +906,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_days=args.days,
         seed=args.seed,
     )
+    if args.http:
+        return _cmd_serve_http(args, config, spec)
     queries = _generate_workload(args.workload, args.size, args.requests, args.seed)
     try:
         report = run_serve(
@@ -864,6 +948,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         print(f"wrote report to {args.json}")
     return 0 if report["ok"] else 1
+
+
+def _cmd_serve_http(args: argparse.Namespace, config, spec) -> int:
+    """``repro serve --http``: the facade over a sim or socket backend."""
+    import time as _time
+
+    from repro.data.generator import SyntheticNAMGenerator
+    from repro.errors import ReproError
+    from repro.serve.http import SimBackend, SocketBackend, StashHttpServer
+
+    launcher = None
+    try:
+        if args.http_backend == "socket":
+            from repro.serve.cluster import ServeCluster
+
+            launcher = ServeCluster(spec, config)
+            addresses = launcher.start()
+            launcher.broadcast_peers(addresses)
+            backend = SocketBackend(launcher.node_ids, addresses, config)
+            print(
+                f"socket cluster up: {len(launcher.node_ids)} node processes",
+                flush=True,
+            )
+        else:
+            from repro.core.cluster import StashCluster
+
+            batch = SyntheticNAMGenerator(spec).generate()
+            backend = SimBackend(StashCluster(batch, config))
+            print(
+                f"simulated cluster up: {config.cluster.num_nodes} nodes, "
+                f"{spec.num_records} records",
+                flush=True,
+            )
+        server = StashHttpServer(backend, config)
+        server.start()
+        print(f"HTTP facade ({backend.name} backend) listening on {server.url}",
+              flush=True)
+        try:
+            if args.duration > 0:
+                _time.sleep(args.duration)
+            else:
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", flush=True)
+        server.stop()
+        backend.close()
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if launcher is not None:
+            launcher.stop()
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:

@@ -330,6 +330,19 @@ class ServeConfig:
     #: Hard wall-clock budget for one whole ``repro serve`` run; the
     #: launcher kills the cluster when it is exceeded (CI guard).
     wall_clock_budget: float = 300.0
+    #: HTTP facade (``repro serve --http`` / repro.serve.http).  The
+    #: facade binds ``http_host``; port 0 asks the OS for a free port.
+    http_host: str = "127.0.0.1"
+    http_port: int = 0
+    #: ``/search`` page size when the request names none, and the hard
+    #: cap a request may ask for (limits > cap are a 400, not a clamp —
+    #: silent clamping hides client bugs).
+    http_default_limit: int = 100
+    http_max_limit: int = 1000
+    #: Entries in the facade's complete-answer response cache (LRU).
+    #: Degraded answers (completeness < 1) are never cached, mirroring
+    #: the client-side rule in docs/fault-model.md.
+    http_cache_entries: int = 256
 
 
 @dataclass(frozen=True)

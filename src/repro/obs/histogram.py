@@ -157,6 +157,21 @@ class LatencyHistogram:
             return lo
         return (lo + hi) / 2.0
 
+    def summary(
+        self, percentiles: Iterable[float] = (50.0, 95.0, 99.0)
+    ) -> dict[str, Any]:
+        """Compact operator-facing digest: count, mean, point estimates.
+
+        The shape the HTTP facade's ``/stats`` endpoint and the scale
+        bench reports embed — estimates only (bucket midpoints), not the
+        full sparse bucket list of :meth:`to_dict`.
+        """
+        out: dict[str, Any] = {"count": self.count, "mean_s": self.mean()}
+        for q in percentiles:
+            key = f"p{q:g}_s"
+            out[key] = self.percentile_estimate(q) if self.count else None
+        return out
+
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:

@@ -1,0 +1,849 @@
+"""HTTP query facade: STAC-style search/aggregation over the query seam.
+
+A thin stdlib HTTP layer (``http.server.ThreadingHTTPServer``, no new
+dependencies) in front of the same coordinator/transport seam every
+other entry point uses.  Three POST endpoints in the style of a STAC
+search/aggregation service:
+
+* ``POST /aggregate`` — viewport statistics: the merged summary over
+  every cell the query touches, plus completeness and provenance;
+* ``POST /search`` — the paginated cell listing (``limit`` / ``offset``
+  / opaque ``next_token``), cells sorted by key so pages are stable;
+* ``POST /drill`` — region drill-down: re-evaluates the query one
+  spatial precision finer (``direction: down``) or coarser (``up``).
+
+The facade is backend-agnostic: :class:`SimBackend` serves straight
+from a simulated cluster (serial ``run_query`` + ``drain`` — the
+byte-identity preconditions of docs/serving.md), :class:`SocketBackend`
+drives a real :class:`~repro.transport.asyncio_net.AsyncioTransport`
+cluster through the PR-8 client driver, and
+:class:`BatchingSimBackend` admits genuinely concurrent HTTP traffic
+into one simulation (the overload/stress regime).  Whatever the
+backend, the response **body bytes** for a query must equal the sim
+twin's serialization of the same answer — the equivalence suite in
+``tests/serve/test_equivalence.py`` holds the facade to that.
+
+Two deliberate caching rules (mirroring docs/fault-model.md): answers
+with ``completeness < 1`` are **never** cached, and limits above
+``http_max_limit`` are a 400, not a silent clamp.  Volatile data
+(latency, cache disposition) travels in ``X-Latency-S`` / ``X-Cache``
+headers so bodies stay byte-comparable.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Sequence
+
+from repro.config import StashConfig
+from repro.data.observation import OBSERVATION_ATTRIBUTES
+from repro.errors import ReproError
+from repro.geo.bbox import BoundingBox
+from repro.geo.geohash import MAX_PRECISION
+from repro.geo.resolution import Resolution
+from repro.geo.temporal import TemporalResolution, TimeRange
+from repro.query.model import AggregationQuery
+from repro.workload.trace import query_to_dict
+
+#: Query classes the facade accepts in a request's optional ``kind``
+#: field (the flight recorder's histogram key).
+QUERY_KINDS = ("pan", "zoom", "drill", "other")
+
+_DRILL_DELTA = {"down": 1, "up": -1}
+
+
+class HttpError(ReproError):
+    """A structured 4xx/5xx: machine-readable code + human message."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+# ---------------------------------------------------------------------------
+# canonical serialization (shared with the equivalence tests' sim twin)
+
+
+def canonical_json(body: Any) -> bytes:
+    """The facade's one true wire form; tests byte-compare against it."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def query_fingerprint(query: AggregationQuery) -> str:
+    """Stable identity of a query's *content* (query_id excluded)."""
+    digest = hashlib.sha256(canonical_json(query_to_dict(query)))
+    return digest.hexdigest()[:16]
+
+
+def cell_entries(cells: dict) -> list[dict[str, Any]]:
+    """Cells as sorted JSON entries — the /search listing order."""
+    return [
+        {
+            "cell": str(key),
+            "geohash": key.geohash,
+            "time_key": str(key.time_key),
+            "summary": cells[key].to_json_dict(),
+        }
+        for key in sorted(cells, key=str)
+    ]
+
+
+def merged_summary(cells: dict) -> dict[str, dict[str, float]]:
+    """Overall viewport statistics: cells merged in sorted-key order.
+
+    The merge order is pinned (sorted by key string) because float
+    accumulation order changes result bytes; the sim twin merges the
+    same way, so /aggregate bodies stay byte-comparable.
+    """
+    from repro.data.statistics import SummaryVector
+
+    if not cells:
+        return {}
+    ordered = [cells[key] for key in sorted(cells, key=str)]
+    return SummaryVector.merge_all(ordered).to_json_dict()
+
+
+def aggregate_body(query: AggregationQuery, answer: "BackendAnswer") -> dict:
+    """The /aggregate response body (also the twin's comparison form)."""
+    return {
+        "type": "aggregation",
+        "query": query_to_dict(query),
+        "cell_count": len(answer.cells),
+        "summary": merged_summary(answer.cells),
+        "completeness": answer.completeness,
+        "degraded": answer.completeness < 1.0,
+        "provenance": dict(answer.provenance),
+    }
+
+
+def search_body(
+    query: AggregationQuery,
+    answer: "BackendAnswer",
+    limit: int,
+    offset: int,
+) -> dict:
+    """One /search page (also the twin's comparison form)."""
+    entries = cell_entries(answer.cells)
+    page = entries[offset : offset + limit]
+    next_offset = offset + len(page)
+    token = None
+    if next_offset < len(entries):
+        token = encode_token(query_fingerprint(query), next_offset)
+    return {
+        "type": "cells",
+        "query": query_to_dict(query),
+        "matched": len(entries),
+        "returned": len(page),
+        "limit": limit,
+        "offset": offset,
+        "cells": page,
+        "next_token": token,
+        "completeness": answer.completeness,
+        "degraded": answer.completeness < 1.0,
+    }
+
+
+def drill_body(
+    query: AggregationQuery, answer: "BackendAnswer", direction: str
+) -> dict:
+    body = aggregate_body(query, answer)
+    body["type"] = "drill"
+    body["direction"] = direction
+    body["resolution"] = query.resolution.spatial
+    return body
+
+
+# ---------------------------------------------------------------------------
+# pagination tokens
+
+
+def encode_token(fingerprint: str, offset: int) -> str:
+    raw = canonical_json([fingerprint, offset])
+    return base64.urlsafe_b64encode(raw).decode().rstrip("=")
+
+
+def decode_token(token: str, fingerprint: str) -> int:
+    """Offset carried by ``token``; rejects foreign or garbled tokens."""
+    if not isinstance(token, str) or not token:
+        raise HttpError(400, "invalid_token", "next_token must be a string")
+    padded = token + "=" * (-len(token) % 4)
+    try:
+        payload = json.loads(base64.urlsafe_b64decode(padded.encode()))
+    except (binascii.Error, ValueError, UnicodeDecodeError):
+        raise HttpError(400, "invalid_token", "next_token is garbled") from None
+    if (
+        not isinstance(payload, list)
+        or len(payload) != 2
+        or not isinstance(payload[0], str)
+        or not isinstance(payload[1], int)
+        or isinstance(payload[1], bool)
+        or payload[1] < 0
+    ):
+        raise HttpError(400, "invalid_token", "next_token is garbled")
+    if payload[0] != fingerprint:
+        raise HttpError(
+            400, "invalid_token", "next_token belongs to a different query"
+        )
+    return payload[1]
+
+
+# ---------------------------------------------------------------------------
+# request parsing
+
+
+def _number(value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{value!r} is not a number")
+    return float(value)
+
+
+def parse_query(
+    body: Any, attributes: Sequence[str] = OBSERVATION_ATTRIBUTES
+) -> AggregationQuery:
+    """Trace-format query body -> AggregationQuery, with structured 4xxs.
+
+    The accepted shape is exactly :func:`repro.workload.trace.query_to_dict`
+    (plus an optional ``kind``), so any saved trace record is a valid
+    request body.
+    """
+    if not isinstance(body, dict):
+        raise HttpError(400, "invalid_json", "request body must be a JSON object")
+    try:
+        south, north, west, east = [_number(v) for v in body["bbox"]]
+    except KeyError:
+        raise HttpError(400, "invalid_bbox", "missing bbox field") from None
+    except (TypeError, ValueError):
+        raise HttpError(
+            400, "invalid_bbox", "bbox must be [south, north, west, east] numbers"
+        ) from None
+    if not (-90.0 <= south < north <= 90.0):
+        raise HttpError(
+            400, "invalid_bbox", f"latitude band [{south}, {north}] is invalid"
+        )
+    if not (-180.0 <= west < east <= 180.0):
+        raise HttpError(
+            400, "invalid_bbox", f"longitude band [{west}, {east}] is invalid"
+        )
+    try:
+        start, end = [_number(v) for v in body["time"]]
+    except KeyError:
+        raise HttpError(400, "invalid_time", "missing time field") from None
+    except (TypeError, ValueError):
+        raise HttpError(
+            400, "invalid_time", "time must be [start_epoch, end_epoch] numbers"
+        ) from None
+    if start >= end:
+        raise HttpError(
+            400, "invalid_time", f"time range [{start}, {end}] is empty"
+        )
+    spatial = body.get("spatial")
+    if (
+        isinstance(spatial, bool)
+        or not isinstance(spatial, int)
+        or not 1 <= spatial <= MAX_PRECISION
+    ):
+        raise HttpError(
+            400,
+            "invalid_resolution",
+            f"spatial must be an integer in [1, {MAX_PRECISION}]",
+        )
+    temporal_name = body.get("temporal", "day")
+    try:
+        temporal = TemporalResolution[str(temporal_name).upper()]
+    except KeyError:
+        raise HttpError(
+            400, "invalid_resolution", f"unknown temporal unit {temporal_name!r}"
+        ) from None
+    requested = body.get("attributes")
+    if requested is not None and not (
+        isinstance(requested, list)
+        and all(isinstance(a, str) for a in requested)
+    ):
+        raise HttpError(
+            400, "unknown_attribute", "attributes must be a list of strings"
+        )
+    if requested:
+        known = set(attributes)
+        for name in requested:
+            if name not in known:
+                raise HttpError(
+                    400, "unknown_attribute", f"unknown attribute {name!r}"
+                )
+    kind = body.get("kind", "other")
+    if kind not in QUERY_KINDS:
+        raise HttpError(
+            400, "invalid_kind", f"kind must be one of {', '.join(QUERY_KINDS)}"
+        )
+    return AggregationQuery(
+        bbox=BoundingBox(south, north, west, east),
+        time_range=TimeRange(start, end),
+        resolution=Resolution(spatial, temporal),
+        attributes=tuple(requested) if requested else None,
+        kind=kind,
+    )
+
+
+def parse_limit_offset(body: dict, default_limit: int, max_limit: int) -> tuple[int, int]:
+    limit = body.get("limit", default_limit)
+    if isinstance(limit, bool) or not isinstance(limit, int) or not 1 <= limit <= max_limit:
+        raise HttpError(
+            400, "invalid_limit", f"limit must be an integer in [1, {max_limit}]"
+        )
+    offset = body.get("offset", 0)
+    if isinstance(offset, bool) or not isinstance(offset, int) or offset < 0:
+        raise HttpError(400, "invalid_limit", "offset must be a non-negative integer")
+    return limit, offset
+
+
+# ---------------------------------------------------------------------------
+# backends
+
+
+@dataclass
+class BackendAnswer:
+    """One evaluated query, backend-independent."""
+
+    cells: dict
+    completeness: float
+    provenance: dict
+    #: Wall (socket) or simulated (sim) seconds — volatile, header-only.
+    latency_s: float
+
+
+class SimBackend:
+    """Serial facade over a simulated cluster (the byte-identity regime).
+
+    One query at a time under a lock, each followed by ``drain()`` — the
+    HTTP analogue of the serve driver's quiesce barrier, so cache state
+    evolves exactly as in a serial sim replay.
+    """
+
+    name = "sim"
+
+    def __init__(self, system: Any):
+        self.system = system
+        self._lock = threading.Lock()
+
+    @property
+    def recorder(self):
+        return getattr(self.system, "recorder", None)
+
+    def evaluate(self, query: AggregationQuery) -> BackendAnswer:
+        with self._lock:
+            result = self.system.run_query(query)
+            self.system.drain()
+        return BackendAnswer(
+            cells=result.cells,
+            completeness=result.completeness,
+            provenance=dict(result.provenance),
+            latency_s=result.latency,
+        )
+
+    def close(self) -> None:
+        pass
+
+
+class BatchingSimBackend:
+    """Concurrent facade over one simulation (the overload regime).
+
+    HTTP handler threads enqueue queries; a single driver thread gathers
+    whatever is pending and submits the whole batch into the simulator
+    at once (``run_concurrent``), so requests genuinely race inside the
+    sim — queueing delay builds up, admission shedding and the circuit
+    breaker fire, degraded answers flow back — while the simulator
+    itself stays single-threaded.  Byte-identity to a serial twin is
+    explicitly *not* promised here; this backend exists for the stress
+    and overload paths.
+    """
+
+    name = "sim-batch"
+
+    def __init__(self, system: Any, max_batch: int = 64, poll_s: float = 0.002):
+        self.system = system
+        self.max_batch = max_batch
+        self.poll_s = poll_s
+        self._queue: "queue.Queue[tuple[AggregationQuery, _Slot] | None]" = queue.Queue()
+        self._stopped = False
+        self._thread = threading.Thread(target=self._drive, daemon=True)
+        self._thread.start()
+
+    @property
+    def recorder(self):
+        return getattr(self.system, "recorder", None)
+
+    def evaluate(self, query: AggregationQuery) -> BackendAnswer:
+        if self._stopped:
+            raise HttpError(503, "unavailable", "backend is shut down")
+        slot = _Slot()
+        self._queue.put((query, slot))
+        slot.done.wait()
+        if slot.error is not None:
+            raise slot.error
+        return slot.answer  # type: ignore[return-value]
+
+    def _drive(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=self.poll_s)
+            except queue.Empty:
+                if self._stopped:
+                    return
+                continue
+            if first is None:
+                return
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    self._stopped = True
+                    break
+                batch.append(item)
+            queries = [q for q, _ in batch]
+            try:
+                results = self.system.run_concurrent(queries)
+                self.system.drain()
+            except Exception as exc:  # pragma: no cover - defensive
+                for _, slot in batch:
+                    slot.error = HttpError(500, "internal", str(exc))
+                    slot.done.set()
+                continue
+            for (_, slot), result in zip(batch, results):
+                slot.answer = BackendAnswer(
+                    cells=result.cells,
+                    completeness=result.completeness,
+                    provenance=dict(result.provenance),
+                    latency_s=result.latency,
+                )
+                slot.done.set()
+
+    def close(self) -> None:
+        self._stopped = True
+        self._queue.put(None)
+        self._thread.join(timeout=30.0)
+
+
+@dataclass
+class _Slot:
+    done: threading.Event = field(default_factory=threading.Event)
+    answer: BackendAnswer | None = None
+    error: Exception | None = None
+
+
+class SocketBackend:
+    """Facade over a live asyncio socket cluster (PR-8 client driver).
+
+    Owns a private event loop on a daemon thread; ``evaluate`` routes
+    the query to its coordinator with the same center-geohash rule as
+    the sim client, sends ``evaluate`` over TCP, then runs the 2-round
+    quiesce barrier — serially, under a lock, preserving the
+    byte-identity preconditions end to end.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        node_ids: Sequence[str],
+        addresses: dict[str, tuple[str, int]],
+        config: StashConfig,
+    ):
+        import asyncio
+
+        from repro.dht.partitioner import PrefixPartitioner
+        from repro.system import CLIENT_ID
+        from repro.transport.asyncio_net import AsyncioTransport
+
+        self.node_ids = list(node_ids)
+        self.config = config
+        self.partitioner = PrefixPartitioner(
+            self.node_ids, config.cluster.partition_precision
+        )
+        self._lock = threading.Lock()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
+        self._thread.start()
+
+        async def connect():
+            transport = AsyncioTransport(
+                CLIENT_ID, time_scale=config.serve.time_scale
+            )
+            await transport.start(config.serve.host, 0)
+            transport.network.register(CLIENT_ID)
+            transport.network.set_peers(addresses)
+            return transport
+
+        self.transport = self._call(connect())
+        from repro.serve.driver import _rpc
+
+        for node_id in self.node_ids:
+            self._call(
+                _rpc(
+                    self.transport, node_id, "ping", {}, 16,
+                    config.serve.startup_timeout,
+                )
+            )
+
+    @property
+    def recorder(self):
+        return None
+
+    def _call(self, coro):
+        import asyncio
+
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=self.config.serve.wall_clock_budget)
+
+    def evaluate(self, query: AggregationQuery) -> BackendAnswer:
+        from repro.serve.driver import _quiesce, _rpc, coordinator_for
+
+        async def one():
+            coordinator = coordinator_for(self.partitioner, query)
+            started = time.monotonic()
+            reply = await _rpc(
+                self.transport,
+                coordinator,
+                "evaluate",
+                {"query": query, "ctx": None},
+                512,
+                self.config.serve.quiesce_timeout,
+            )
+            await _quiesce(
+                self.transport, self.node_ids, self.config.serve.quiesce_timeout
+            )
+            return reply, time.monotonic() - started
+
+        with self._lock:
+            reply, wall = self._call(one())
+        if not isinstance(reply, dict) or "cells" not in reply:
+            raise HttpError(502, "bad_gateway", f"malformed evaluate reply: {reply!r}")
+        return BackendAnswer(
+            cells=reply["cells"],
+            completeness=float(reply.get("completeness", 1.0)),
+            provenance=dict(reply.get("provenance", {})),
+            latency_s=wall,
+        )
+
+    def close(self) -> None:
+        import asyncio
+
+        async def shutdown():
+            await self.transport.aclose()
+            # Reap per-link reader/writer tasks before the loop dies, or
+            # their coroutines get garbage-collected against a closed loop.
+            tasks = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        self._call(shutdown())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+
+# ---------------------------------------------------------------------------
+# response cache
+
+
+class ResponseCache:
+    """LRU over evaluated answers, keyed by query fingerprint.
+
+    Degraded answers (``completeness < 1``) are never inserted — the
+    same rule the sim client applies to its cell cache
+    (docs/fault-model.md): a shed or partial answer must not satisfy a
+    later healthy request.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, BackendAnswer]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.degraded_skipped = 0
+
+    def get(self, key: str) -> BackendAnswer | None:
+        with self._lock:
+            answer = self._entries.get(key)
+            if answer is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return answer
+
+    def put(self, key: str, answer: BackendAnswer) -> None:
+        if answer.completeness < 1.0:
+            with self._lock:
+                self.degraded_skipped += 1
+            return
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "degraded_skipped": self.degraded_skipped,
+            }
+
+
+# ---------------------------------------------------------------------------
+# the server
+
+
+class StashHttpServer:
+    """The facade itself: routes, validation, caching, stats."""
+
+    def __init__(
+        self,
+        backend: Any,
+        config: StashConfig | None = None,
+        attributes: Sequence[str] = OBSERVATION_ATTRIBUTES,
+    ):
+        self.backend = backend
+        self.config = config or StashConfig()
+        serve = self.config.serve
+        self.attributes = tuple(attributes)
+        self.default_limit = serve.http_default_limit
+        self.max_limit = serve.http_max_limit
+        self.cache = ResponseCache(serve.http_cache_entries)
+        self.requests: dict[str, int] = {}
+        self._requests_lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer(
+            (serve.http_host, serve.http_port), _Handler
+        )
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "StashHttpServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "StashHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- request handling --------------------------------------------------
+
+    def _count(self, path: str) -> None:
+        with self._requests_lock:
+            self.requests[path] = self.requests.get(path, 0) + 1
+
+    def handle(self, method: str, path: str, body: bytes) -> tuple[int, dict, dict]:
+        """Route one request; returns (status, body_dict, extra_headers)."""
+        self._count(path)
+        if method == "GET":
+            if path == "/":
+                return 200, self._describe(), {}
+            if path == "/healthz":
+                return 200, {"ok": True, "backend": self.backend.name}, {}
+            if path == "/stats":
+                return 200, self._stats(), {}
+            if path in ("/aggregate", "/search", "/drill"):
+                raise HttpError(405, "method_not_allowed", f"use POST for {path}")
+            raise HttpError(404, "not_found", f"unknown path {path}")
+        if method != "POST":
+            raise HttpError(405, "method_not_allowed", f"unsupported method {method}")
+        if path not in ("/aggregate", "/search", "/drill"):
+            if path in ("/", "/healthz", "/stats"):
+                raise HttpError(405, "method_not_allowed", f"use GET for {path}")
+            raise HttpError(404, "not_found", f"unknown path {path}")
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "invalid_json", "request body is not valid JSON") from None
+        if path == "/aggregate":
+            return self._aggregate(payload)
+        if path == "/search":
+            return self._search(payload)
+        return self._drill(payload)
+
+    def _evaluate_cached(
+        self, query: AggregationQuery
+    ) -> tuple[BackendAnswer, str]:
+        fingerprint = query_fingerprint(query)
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return cached, "hit"
+        answer = self.backend.evaluate(query)
+        self.cache.put(fingerprint, answer)
+        return answer, "miss"
+
+    @staticmethod
+    def _headers(answer: BackendAnswer, disposition: str) -> dict[str, str]:
+        return {
+            "X-Cache": disposition,
+            "X-Latency-S": f"{answer.latency_s:.6f}",
+        }
+
+    def _aggregate(self, payload: Any) -> tuple[int, dict, dict]:
+        query = parse_query(payload, self.attributes)
+        answer, disposition = self._evaluate_cached(query)
+        return 200, aggregate_body(query, answer), self._headers(answer, disposition)
+
+    def _search(self, payload: Any) -> tuple[int, dict, dict]:
+        query = parse_query(payload, self.attributes)
+        limit, offset = parse_limit_offset(
+            payload, self.default_limit, self.max_limit
+        )
+        if "next_token" in payload and payload["next_token"] is not None:
+            offset = decode_token(payload["next_token"], query_fingerprint(query))
+        answer, disposition = self._evaluate_cached(query)
+        return (
+            200,
+            search_body(query, answer, limit, offset),
+            self._headers(answer, disposition),
+        )
+
+    def _drill(self, payload: Any) -> tuple[int, dict, dict]:
+        if not isinstance(payload, dict) or "query" not in payload:
+            raise HttpError(400, "invalid_json", "drill body needs a query field")
+        direction = payload.get("direction", "down")
+        if direction not in _DRILL_DELTA:
+            raise HttpError(
+                400, "invalid_direction", "direction must be 'down' or 'up'"
+            )
+        base = parse_query(payload["query"], self.attributes)
+        spatial = base.resolution.spatial + _DRILL_DELTA[direction]
+        if not 1 <= spatial <= MAX_PRECISION:
+            raise HttpError(
+                400,
+                "invalid_resolution",
+                f"drill {direction} leaves [1, {MAX_PRECISION}]",
+            )
+        query = AggregationQuery(
+            bbox=base.bbox,
+            time_range=base.time_range,
+            resolution=Resolution(spatial, base.resolution.temporal),
+            attributes=base.attributes,
+            kind="drill",
+        )
+        answer, disposition = self._evaluate_cached(query)
+        return (
+            200,
+            drill_body(query, answer, direction),
+            self._headers(answer, disposition),
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def _describe(self) -> dict:
+        return {
+            "service": "stash-http",
+            "version": "1",
+            "backend": self.backend.name,
+            "attributes": list(self.attributes),
+            "limits": {"default": self.default_limit, "max": self.max_limit},
+            "endpoints": {
+                "GET /": "this description",
+                "GET /healthz": "liveness",
+                "GET /stats": "request counters, cache, flight recorder",
+                "POST /aggregate": "merged viewport statistics",
+                "POST /search": "paginated cell listing (limit/offset/next_token)",
+                "POST /drill": "re-evaluate one precision finer (down) or coarser (up)",
+            },
+        }
+
+    def _stats(self) -> dict:
+        recorder = getattr(self.backend, "recorder", None)
+        with self._requests_lock:
+            requests = dict(self.requests)
+        return {
+            "backend": self.backend.name,
+            "requests": requests,
+            "cache": self.cache.stats(),
+            "recorder": recorder.report() if recorder is not None else None,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "stash-http/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the facade keeps its own counters; stderr stays quiet
+
+    def _respond(self, status: int, body: dict, extra: dict[str, str]) -> None:
+        data = canonical_json(body)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in extra.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, method: str) -> None:
+        app: StashHttpServer = self.server.app  # type: ignore[attr-defined]
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        try:
+            status, payload, extra = app.handle(method, self.path, body)
+        except HttpError as exc:
+            status = exc.status
+            payload = {"code": exc.code, "error": str(exc)}
+            extra = {}
+        except Exception as exc:  # pragma: no cover - defensive
+            status = 500
+            payload = {"code": "internal", "error": f"{type(exc).__name__}: {exc}"}
+            extra = {}
+        self._respond(status, payload, extra)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")

@@ -1,0 +1,41 @@
+"""Tiny urllib client shared by the HTTP facade test suites."""
+
+import json
+import urllib.error
+import urllib.request
+
+
+def http_get(url: str, path: str, timeout: float = 60.0):
+    """GET; returns (status, parsed_body, headers)."""
+    try:
+        with urllib.request.urlopen(url + path, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def http_post(url: str, path: str, body, timeout: float = 60.0, raw: bytes | None = None):
+    """POST JSON (or ``raw`` bytes); returns (status, parsed_body, headers)."""
+    data = raw if raw is not None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def http_post_bytes(url: str, path: str, body, timeout: float = 60.0):
+    """POST JSON; returns (status, raw_body_bytes, headers)."""
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers)

@@ -8,21 +8,35 @@ transports.  See docs/serving.md for why those preconditions matter.
 """
 
 import asyncio
+import threading
 
 import pytest
 
-from repro.config import ClusterConfig, ServeConfig, StashConfig
+from repro.config import ClusterConfig, FaultConfig, ServeConfig, StashConfig
 from repro.core.cluster import StashCluster
 from repro.data.generator import DatasetSpec, SyntheticNAMGenerator
 from repro.dht.partitioner import PrefixPartitioner
+from repro.faults.schedule import FaultEvent
 from repro.geo.bbox import BoundingBox
 from repro.geo.resolution import Resolution
 from repro.geo.temporal import TemporalResolution, TimeKey
 from repro.query.model import AggregationQuery
 from repro.serve.driver import _quiesce, _rpc, coordinator_for
+from repro.serve.http import (
+    BackendAnswer,
+    SimBackend,
+    SocketBackend,
+    StashHttpServer,
+    aggregate_body,
+    canonical_json,
+    query_fingerprint,
+)
 from repro.serve.server import NodeSpec, build_node
 from repro.system import CLIENT_ID
 from repro.transport.asyncio_net import AsyncioTransport
+from repro.workload.trace import query_to_dict
+
+from tests.serve._http import http_get, http_post_bytes
 
 SPEC = DatasetSpec(
     num_records=6_000, start_day=(2013, 2, 1), num_days=2, seed=11
@@ -201,3 +215,206 @@ class TestQuiesceHandlers:
         assert stats["pending"] == 0
         assert stats["service_queue"] == 0
         assert stats["inflight"] == 0  # excludes the stats request itself
+
+
+# ---------------------------------------------------------------------------
+# the HTTP facade: every answer byte-identical to the sim-twin oracle
+
+
+def _twin_http_bodies(queries, config=CONFIG, spec=SPEC):
+    """The oracle: serial sim replay, serialized exactly as the facade
+    serializes — same body builders, same canonical JSON, same caching
+    discipline (complete answers replayed from cache, degraded answers
+    re-evaluated every time)."""
+    dataset = SyntheticNAMGenerator(spec).generate()
+    cluster = StashCluster(dataset, config)
+    cached: dict[str, BackendAnswer] = {}
+    bodies = []
+    for query in queries:
+        fingerprint = query_fingerprint(query)
+        answer = cached.get(fingerprint)
+        if answer is None:
+            result = cluster.run_query(query)
+            cluster.drain()
+            answer = BackendAnswer(
+                cells=result.cells,
+                completeness=result.completeness,
+                provenance=dict(result.provenance),
+                latency_s=result.latency,
+            )
+            if answer.completeness >= 1.0:
+                cached[fingerprint] = answer
+        bodies.append(canonical_json(aggregate_body(query, answer)))
+    return bodies
+
+
+def _replay_over_http(server):
+    """POST the workload through the facade; return (raw_bodies, dispositions)."""
+    raw, dispositions = [], []
+    for query in _workload():
+        status, body, headers = http_post_bytes(
+            server.url, "/aggregate", query_to_dict(query)
+        )
+        assert status == 200
+        raw.append(body)
+        dispositions.append(headers["X-Cache"])
+    return raw, dispositions
+
+
+class TestHttpByteIdentity:
+    """ISSUE 9 acceptance: HTTP replay has zero divergences from the twin."""
+
+    @pytest.fixture(scope="class")
+    def replay(self):
+        dataset = SyntheticNAMGenerator(SPEC).generate()
+        backend = SimBackend(StashCluster(dataset, CONFIG))
+        with StashHttpServer(backend, CONFIG) as server:
+            raw, dispositions = _replay_over_http(server)
+        backend.close()
+        return raw, dispositions, _twin_http_bodies(_workload())
+
+    def test_every_answer_byte_identical(self, replay):
+        raw, _, twin = replay
+        assert len(raw) == len(twin) == 4
+        for index, (got, expected) in enumerate(zip(raw, twin)):
+            assert got == expected, f"query {index} diverged"
+
+    def test_repeat_served_from_facade_cache(self, replay):
+        _, dispositions, _ = replay
+        assert dispositions == ["miss", "hit", "miss", "miss"]
+
+
+class _InProcessSocketCluster:
+    """The `_socket_answers` wiring, kept alive on a background loop so a
+    SocketBackend (which owns its own loop and client transport) can dial
+    the nodes while HTTP requests flow."""
+
+    def __init__(self):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
+        self._thread.start()
+        self.addresses = asyncio.run_coroutine_threadsafe(
+            self._start(), self._loop
+        ).result(timeout=120)
+
+    async def _start(self):
+        self.transports = {}
+        addresses = {}
+        for index, node_id in enumerate(NODE_IDS):
+            transport = AsyncioTransport(
+                node_id, time_scale=CONFIG.serve.time_scale
+            )
+            addresses[node_id] = await transport.start()
+            node = build_node(
+                NodeSpec(
+                    node_index=index,
+                    node_ids=NODE_IDS,
+                    dataset=SPEC,
+                    config=CONFIG,
+                ),
+                transport,
+            )
+            node.start()
+            self.transports[node_id] = transport
+        for transport in self.transports.values():
+            transport.network.set_peers(addresses)
+        return addresses
+
+    def close(self):
+        async def stop():
+            for transport in self.transports.values():
+                await transport.aclose()
+            # Reap leftover per-link tasks so their coroutines are not
+            # garbage-collected against a closed loop.
+            tasks = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(stop(), self._loop).result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+class TestHttpSocketByteIdentity:
+    """The facade over real TCP nodes still matches the sim twin byte for
+    byte — the full wire path behind the HTTP surface."""
+
+    def test_socket_backend_replay_matches_twin(self):
+        cluster = _InProcessSocketCluster()
+        backend = None
+        try:
+            backend = SocketBackend(NODE_IDS, cluster.addresses, CONFIG)
+            with StashHttpServer(backend, CONFIG) as server:
+                assert http_get(server.url, "/healthz")[1]["backend"] == "socket"
+                raw, dispositions = _replay_over_http(server)
+        finally:
+            if backend is not None:
+                backend.close()
+            cluster.close()
+        twin = _twin_http_bodies(_workload())
+        for index, (got, expected) in enumerate(zip(raw, twin)):
+            assert got == expected, f"query {index} diverged"
+        assert dispositions == ["miss", "hit", "miss", "miss"]
+
+
+class TestDegradedThroughHttp:
+    """Partial answers (completeness < 1) flow through the facade
+    unmangled — byte-identical to a twin running the same fault schedule
+    — and are never served from the response cache."""
+
+    @pytest.fixture(scope="class")
+    def faulted_config(self):
+        probe = StashCluster(SyntheticNAMGenerator(SPEC).generate(), CONFIG)
+        target = probe.coordinator_for(_workload()[0])
+        return StashConfig(
+            cluster=ClusterConfig(num_nodes=2),
+            serve=ServeConfig(time_scale=0.02),
+            faults=FaultConfig(
+                enabled=True,
+                schedule=(FaultEvent(kind="crash", at=0.0, node=target),),
+                rpc_timeout=0.2,
+                evaluate_timeout=1.0,
+                max_retries=1,
+                backoff_base=0.05,
+            ),
+        )
+
+    def test_degraded_replay_byte_identical_and_uncached(self, faulted_config):
+        # The same query twice: a complete answer would be a cache hit
+        # on the repeat, a degraded one must be re-evaluated both times.
+        queries = [_workload()[0], _workload()[0]]
+        dataset = SyntheticNAMGenerator(SPEC).generate()
+        backend = SimBackend(StashCluster(dataset, faulted_config))
+        raw, dispositions, parsed = [], [], []
+        with StashHttpServer(backend, faulted_config) as server:
+            for query in queries:
+                status, body, headers = http_post_bytes(
+                    server.url, "/aggregate", query_to_dict(query)
+                )
+                assert status == 200
+                raw.append(body)
+                dispositions.append(headers["X-Cache"])
+                parsed.append(body)
+            stats = http_get(server.url, "/stats")[1]
+        backend.close()
+
+        import json
+
+        first = json.loads(parsed[0])
+        assert first["degraded"] is True
+        assert 0.0 <= first["completeness"] < 1.0
+        # Never cached: the repeat is a miss too, and the cache counted
+        # the skips.
+        assert dispositions == ["miss", "miss"]
+        assert stats["cache"]["degraded_skipped"] >= 2
+        assert stats["cache"]["entries"] == 0
+
+        twin = _twin_http_bodies(queries, config=faulted_config)
+        assert raw[0] == twin[0]
+        assert raw[1] == twin[1]

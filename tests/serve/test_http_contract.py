@@ -1,0 +1,341 @@
+"""Contract tests for the HTTP query facade (repro/serve/http.py).
+
+Field-by-field response schemas, pagination round trips with no
+duplicate or skipped cells, and structured 4xx error codes for every
+malformed-request class — the satellite checklist of ISSUE 9, pinned
+as executable contract.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchScale, bench_config, bench_dataset, make_system
+from repro.query.model import PROVENANCE_KEYS
+from repro.serve.http import (
+    SimBackend,
+    StashHttpServer,
+    decode_token,
+    encode_token,
+)
+
+from tests.serve._http import http_get, http_post
+
+#: A viewport with a few hundred result cells — enough pages to matter.
+QUERY = {
+    "bbox": [25.0, 50.0, -130.0, -70.0],
+    "time": [1359763200, 1359849600],
+    "spatial": 3,
+    "temporal": "day",
+}
+
+SUMMARY_FIELDS = {"count", "min", "max", "mean", "std"}
+
+
+@pytest.fixture(scope="module")
+def server():
+    scale = BenchScale.unit()
+    backend = SimBackend(
+        make_system("stash", bench_dataset(scale), bench_config(scale))
+    )
+    with StashHttpServer(backend) as running:
+        yield running
+    backend.close()
+
+
+@pytest.fixture(scope="module")
+def url(server):
+    return server.url
+
+
+# ---------------------------------------------------------------------------
+# response schemas, field by field
+
+
+class TestAggregateSchema:
+    def test_exact_field_set(self, url):
+        status, body, headers = http_post(url, "/aggregate", QUERY)
+        assert status == 200
+        assert set(body) == {
+            "type", "query", "cell_count", "summary",
+            "completeness", "degraded", "provenance",
+        }
+        assert headers["Content-Type"] == "application/json"
+
+    def test_field_values(self, url):
+        _, body, _ = http_post(url, "/aggregate", QUERY)
+        assert body["type"] == "aggregation"
+        assert body["query"]["bbox"] == QUERY["bbox"]
+        assert body["query"]["time"] == QUERY["time"]
+        assert body["query"]["spatial"] == QUERY["spatial"]
+        assert body["query"]["temporal"] == "day"
+        assert body["query"]["attributes"] is None
+        assert isinstance(body["cell_count"], int) and body["cell_count"] > 0
+        assert body["completeness"] == 1.0
+        assert body["degraded"] is False
+        assert set(body["provenance"]) == set(PROVENANCE_KEYS)
+        for stats in body["summary"].values():
+            assert set(stats) == SUMMARY_FIELDS
+            assert stats["count"] > 0
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_attribute_projection(self, url):
+        _, body, _ = http_post(
+            url, "/aggregate", {**QUERY, "attributes": ["temperature"]}
+        )
+        assert list(body["summary"]) == ["temperature"]
+        assert body["query"]["attributes"] == ["temperature"]
+
+
+class TestSearchSchema:
+    def test_exact_field_set(self, url):
+        status, body, _ = http_post(url, "/search", {**QUERY, "limit": 10})
+        assert status == 200
+        assert set(body) == {
+            "type", "query", "matched", "returned", "limit", "offset",
+            "cells", "next_token", "completeness", "degraded",
+        }
+        assert body["type"] == "cells"
+
+    def test_entry_shape_and_order(self, url):
+        _, body, _ = http_post(url, "/search", {**QUERY, "limit": 25})
+        assert body["returned"] == len(body["cells"]) == 25
+        labels = [entry["cell"] for entry in body["cells"]]
+        assert labels == sorted(labels)
+        for entry in body["cells"]:
+            assert set(entry) == {"cell", "geohash", "time_key", "summary"}
+            assert entry["cell"] == f"{entry['geohash']}@{entry['time_key']}"
+            assert len(entry["geohash"]) == QUERY["spatial"]
+            for stats in entry["summary"].values():
+                assert set(stats) == SUMMARY_FIELDS or set(stats) == {"count"}
+
+    def test_default_limit_applied(self, url, server):
+        _, body, _ = http_post(url, "/search", QUERY)
+        assert body["limit"] == server.default_limit
+
+
+class TestDrillSchema:
+    def test_down_and_up(self, url):
+        status, down, _ = http_post(url, "/drill", {"query": QUERY})
+        assert status == 200
+        assert down["type"] == "drill"
+        assert down["direction"] == "down"
+        assert down["resolution"] == QUERY["spatial"] + 1
+        assert down["query"]["spatial"] == QUERY["spatial"] + 1
+        _, up, _ = http_post(
+            url, "/drill", {"query": QUERY, "direction": "up"}
+        )
+        assert up["resolution"] == QUERY["spatial"] - 1
+
+    def test_drill_changes_cell_population(self, url):
+        _, base, _ = http_post(url, "/aggregate", QUERY)
+        _, down, _ = http_post(url, "/drill", {"query": QUERY})
+        assert down["cell_count"] > base["cell_count"]
+
+
+class TestIntrospection:
+    def test_service_description(self, url):
+        status, body, _ = http_get(url, "/")
+        assert status == 200
+        assert body["service"] == "stash-http"
+        assert body["backend"] == "sim"
+        assert set(body["endpoints"]) == {
+            "GET /", "GET /healthz", "GET /stats",
+            "POST /aggregate", "POST /search", "POST /drill",
+        }
+        assert "temperature" in body["attributes"]
+
+    def test_healthz(self, url):
+        assert http_get(url, "/healthz")[1] == {"ok": True, "backend": "sim"}
+
+    def test_stats_counts_requests_and_cache(self, url):
+        before = http_get(url, "/stats")[1]
+        http_post(url, "/aggregate", QUERY)
+        after = http_get(url, "/stats")[1]
+        assert after["requests"]["/aggregate"] > before["requests"].get("/aggregate", 0)
+        assert set(after["cache"]) == {
+            "entries", "hits", "misses", "degraded_skipped",
+        }
+        assert after["recorder"] is not None  # sim backend exposes the recorder
+        outcomes = after["recorder"]["outcomes"]
+        assert sum(outcomes.values()) == after["recorder"]["queries"]
+
+
+# ---------------------------------------------------------------------------
+# pagination
+
+
+class TestPagination:
+    def test_token_walk_covers_everything_exactly_once(self, url):
+        seen: list[str] = []
+        body = {**QUERY, "limit": 7}
+        pages = 0
+        while True:
+            status, page, _ = http_post(url, "/search", body)
+            assert status == 200
+            seen.extend(entry["cell"] for entry in page["cells"])
+            pages += 1
+            if page["next_token"] is None:
+                break
+            body = {**QUERY, "limit": 7, "next_token": page["next_token"]}
+        assert pages == -(-page["matched"] // 7)
+        assert len(seen) == page["matched"]
+        assert len(set(seen)) == len(seen), "duplicate cells across pages"
+        assert seen == sorted(seen)
+
+    def test_offset_equals_token_walk(self, url):
+        _, first, _ = http_post(url, "/search", {**QUERY, "limit": 9})
+        _, by_token, _ = http_post(
+            url, "/search", {**QUERY, "limit": 9, "next_token": first["next_token"]}
+        )
+        _, by_offset, _ = http_post(
+            url, "/search", {**QUERY, "limit": 9, "offset": 9}
+        )
+        assert by_token["cells"] == by_offset["cells"]
+        assert by_token["offset"] == by_offset["offset"] == 9
+
+    def test_final_page_is_partial_with_null_token(self, url):
+        _, probe, _ = http_post(url, "/search", {**QUERY, "limit": 10})
+        matched = probe["matched"]
+        last_offset = (matched // 7) * 7
+        if last_offset == matched:
+            last_offset -= 7
+        _, page, _ = http_post(
+            url, "/search", {**QUERY, "limit": 7, "offset": last_offset}
+        )
+        assert page["returned"] == matched - last_offset
+        assert page["next_token"] is None
+
+    def test_offset_past_end_returns_empty_page(self, url):
+        _, page, _ = http_post(
+            url, "/search", {**QUERY, "limit": 7, "offset": 10**6}
+        )
+        assert page["cells"] == []
+        assert page["returned"] == 0
+        assert page["next_token"] is None
+
+    def test_token_round_trips(self):
+        token = encode_token("abcdef0123456789", 42)
+        assert decode_token(token, "abcdef0123456789") == 42
+
+
+# ---------------------------------------------------------------------------
+# structured errors
+
+
+BAD_REQUESTS = [
+    ("/aggregate", {}, "invalid_bbox"),
+    ("/aggregate", {**QUERY, "bbox": [25, 50, -130]}, "invalid_bbox"),
+    ("/aggregate", {**QUERY, "bbox": ["a", "b", "c", "d"]}, "invalid_bbox"),
+    ("/aggregate", {**QUERY, "bbox": [50, 25, -130, -70]}, "invalid_bbox"),
+    ("/aggregate", {**QUERY, "bbox": [25, 95, -130, -70]}, "invalid_bbox"),
+    ("/aggregate", {**QUERY, "bbox": [25, 50, -70, -130]}, "invalid_bbox"),
+    ("/aggregate", {**QUERY, "bbox": [25, 50, -181, -70]}, "invalid_bbox"),
+    ("/aggregate", {"bbox": QUERY["bbox"], "spatial": 3}, "invalid_time"),
+    ("/aggregate", {**QUERY, "time": [1359763200]}, "invalid_time"),
+    ("/aggregate", {**QUERY, "time": ["now", "later"]}, "invalid_time"),
+    ("/aggregate", {**QUERY, "time": [5, 5]}, "invalid_time"),
+    ("/aggregate", {**QUERY, "time": [9, 5]}, "invalid_time"),
+    ("/aggregate", {**QUERY, "spatial": 0}, "invalid_resolution"),
+    ("/aggregate", {**QUERY, "spatial": 13}, "invalid_resolution"),
+    ("/aggregate", {**QUERY, "spatial": "three"}, "invalid_resolution"),
+    ("/aggregate", {**QUERY, "spatial": True}, "invalid_resolution"),
+    ("/aggregate", {**QUERY, "temporal": "fortnight"}, "invalid_resolution"),
+    ("/aggregate", {**QUERY, "attributes": ["bogus"]}, "unknown_attribute"),
+    ("/aggregate", {**QUERY, "attributes": "temperature"}, "unknown_attribute"),
+    ("/aggregate", {**QUERY, "attributes": [1, 2]}, "unknown_attribute"),
+    ("/aggregate", {**QUERY, "kind": "teleport"}, "invalid_kind"),
+    ("/search", {**QUERY, "limit": 0}, "invalid_limit"),
+    ("/search", {**QUERY, "limit": -3}, "invalid_limit"),
+    ("/search", {**QUERY, "limit": 10**6}, "invalid_limit"),
+    ("/search", {**QUERY, "limit": True}, "invalid_limit"),
+    ("/search", {**QUERY, "limit": "ten"}, "invalid_limit"),
+    ("/search", {**QUERY, "offset": -1}, "invalid_limit"),
+    ("/search", {**QUERY, "next_token": "!!!not-base64!!!"}, "invalid_token"),
+    ("/search", {**QUERY, "next_token": 17}, "invalid_token"),
+    ("/drill", {}, "invalid_json"),
+    ("/drill", {"query": QUERY, "direction": "sideways"}, "invalid_direction"),
+    ("/drill", {"query": {**QUERY, "spatial": 12}}, "invalid_resolution"),
+    (
+        "/drill",
+        {"query": {**QUERY, "spatial": 1}, "direction": "up"},
+        "invalid_resolution",
+    ),
+]
+
+
+class TestStructuredErrors:
+    @pytest.mark.parametrize(
+        "path,body,code",
+        BAD_REQUESTS,
+        ids=[f"{p[1:]}-{c}-{i}" for i, (p, _, c) in enumerate(BAD_REQUESTS)],
+    )
+    def test_malformed_request_is_a_structured_400(self, url, path, body, code):
+        status, reply, _ = http_post(url, path, body)
+        assert status == 400
+        assert set(reply) == {"code", "error"}
+        assert reply["code"] == code
+        assert isinstance(reply["error"], str) and reply["error"]
+
+    def test_body_that_is_not_json(self, url):
+        status, reply, _ = http_post(url, "/aggregate", None, raw=b"{nope")
+        assert (status, reply["code"]) == (400, "invalid_json")
+
+    def test_body_that_is_a_json_array(self, url):
+        status, reply, _ = http_post(url, "/aggregate", [1, 2, 3])
+        assert (status, reply["code"]) == (400, "invalid_json")
+
+    def test_foreign_token_rejected(self, url):
+        """A token minted for one query must not page another."""
+        _, page, _ = http_post(url, "/search", {**QUERY, "limit": 5})
+        other = {**QUERY, "spatial": 2, "next_token": page["next_token"]}
+        status, reply, _ = http_post(url, "/search", other)
+        assert (status, reply["code"]) == (400, "invalid_token")
+
+    def test_crafted_negative_offset_token_rejected(self, url):
+        import base64
+
+        forged = base64.urlsafe_b64encode(
+            json.dumps(["0" * 16, -4]).encode()
+        ).decode().rstrip("=")
+        status, reply, _ = http_post(
+            url, "/search", {**QUERY, "next_token": forged}
+        )
+        assert (status, reply["code"]) == (400, "invalid_token")
+
+    def test_unknown_path_is_404(self, url):
+        status, reply, _ = http_get(url, "/collections")
+        assert (status, reply["code"]) == (404, "not_found")
+
+    def test_get_on_post_endpoint_is_405(self, url):
+        status, reply, _ = http_get(url, "/aggregate")
+        assert (status, reply["code"]) == (405, "method_not_allowed")
+
+    def test_post_on_get_endpoint_is_405(self, url):
+        status, reply, _ = http_post(url, "/healthz", {})
+        assert (status, reply["code"]) == (405, "method_not_allowed")
+
+
+# ---------------------------------------------------------------------------
+# caching headers
+
+
+class TestCacheHeaders:
+    def test_repeat_hits_cache_with_identical_body(self, url):
+        fresh = {**QUERY, "bbox": [26.0, 49.0, -129.0, -71.0]}
+        status, first, h1 = http_post(url, "/aggregate", fresh)
+        assert status == 200 and h1["X-Cache"] == "miss"
+        _, again, h2 = http_post(url, "/aggregate", fresh)
+        assert h2["X-Cache"] == "hit"
+        assert again == first
+
+    def test_search_pages_share_the_cached_answer(self, url):
+        fresh = {**QUERY, "bbox": [27.0, 48.0, -128.0, -72.0], "limit": 5}
+        _, _, h1 = http_post(url, "/search", fresh)
+        assert h1["X-Cache"] == "miss"
+        _, _, h2 = http_post(url, "/search", {**fresh, "offset": 5})
+        assert h2["X-Cache"] == "hit"
+
+    def test_latency_header_present(self, url):
+        _, _, headers = http_post(url, "/aggregate", QUERY)
+        assert float(headers["X-Latency-S"]) >= 0.0
